@@ -1,0 +1,1 @@
+bench/bench_util.ml: Cluseq Filename Float Fun List Matching Metrics Printf Seq_database String Sys Timer

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Block_edit Edit_distance Hashtbl Hmm Instance List Measure Printf Pst Qgram Rng Seq_database Similarity Staged Test Time Toolkit Workload

@@ -1,0 +1,88 @@
+(* Shared infrastructure for the experiment harness: evaluation wrappers
+   and fixed-width table printing. *)
+
+type scored = {
+  labels : int array; (* hard labels in cluster-id space *)
+  n_clusters : int;
+  seconds : float;
+  final_t : float;
+  iterations : int;
+}
+
+let score_cluseq ?(config = Cluseq.default_config) db =
+  let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
+  {
+    labels = Cluseq.hard_labels result ~n:(Seq_database.n_sequences db);
+    n_clusters = result.n_clusters;
+    seconds;
+    final_t = result.final_t;
+    iterations = result.iterations;
+  }
+
+let accuracy ~truth labels =
+  Metrics.accuracy ~truth ~pred_class:(Matching.relabel ~truth ~pred:labels)
+
+let macro_pr ~truth labels =
+  let pred_class = Matching.relabel ~truth ~pred:labels in
+  let prs = Metrics.per_class ~truth ~pred_class in
+  (Metrics.macro_precision prs, Metrics.macro_recall prs)
+
+let pct x = 100.0 *. x
+
+(* --- table printing -------------------------------------------------- *)
+
+(* When set (via --csv DIR), every printed table is also written as a CSV
+   file named after its experiment, for plotting the figures. *)
+let csv_dir : string option ref = ref None
+let current_experiment = ref "experiment"
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (!current_experiment ^ ".csv") in
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (String.concat "," (List.map csv_escape header) ^ "\n");
+          List.iter
+            (fun r -> output_string oc (String.concat "," (List.map csv_escape r) ^ "\n"))
+            rows)
+
+let hrule widths =
+  print_string "+";
+  List.iter (fun w -> print_string (String.make (w + 2) '-' ^ "+")) widths;
+  print_newline ()
+
+let row widths cells =
+  print_string "|";
+  List.iter2 (fun w c -> Printf.printf " %-*s |" w c) widths cells;
+  print_newline ()
+
+let table ~title ~header rows =
+  Printf.printf "\n== %s ==\n" title;
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r i))) (String.length h) rows)
+      header
+  in
+  hrule widths;
+  row widths header;
+  hrule widths;
+  List.iter (row widths) rows;
+  hrule widths;
+  flush stdout;
+  write_csv header rows
+
+let note fmt = Printf.printf (fmt ^^ "%!")
+
+(* Scale an integer dimension by the global --scale factor (>= 1 result). *)
+let scaled scale n = max 1 (int_of_float (Float.round (float_of_int n *. scale)))

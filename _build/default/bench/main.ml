@@ -1,0 +1,71 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment, scale 1
+     dune exec bench/main.exe -- table2 fig4  # selected experiments
+     dune exec bench/main.exe -- --scale 0.5  # half-size workloads
+     dune exec bench/main.exe -- --list       # experiment inventory
+     dune exec bench/main.exe -- --csv out/   # also write tables as CSV
+     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
+
+   Each experiment regenerates one table or figure of the paper's
+   evaluation (see DESIGN.md Sec. 4 for the experiment index and
+   EXPERIMENTS.md for paper-vs-measured results). *)
+
+let list_experiments () =
+  Printf.printf "available experiments:\n";
+  List.iter (fun (id, doc, _) -> Printf.printf "  %-10s %s\n" id doc) Experiments.all;
+  Printf.printf "  %-10s %s\n" "micro" "Bechamel micro-benchmarks of core primitives"
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1.0 in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: _ ->
+        list_experiments ();
+        exit 0
+    | "--csv" :: dir :: rest ->
+        Bench_util.csv_dir := Some dir;
+        parse rest
+    | "--scale" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> scale := f
+        | _ ->
+            prerr_endline "--scale expects a positive number";
+            exit 2);
+        parse rest
+    | id :: rest ->
+        selected := id :: !selected;
+        parse rest
+  in
+  parse args;
+  let selected = List.rev !selected in
+  let run_micro = List.mem "micro" selected || selected = [] in
+  let to_run =
+    match List.filter (fun id -> id <> "micro") selected with
+    | [] ->
+        if selected = [] then List.map (fun (id, _, f) -> (id, f)) Experiments.all else []
+    | ids ->
+        List.map
+          (fun id ->
+            match List.find_opt (fun (eid, _, _) -> eid = id) Experiments.all with
+            | Some (eid, _, f) -> (eid, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" id;
+                exit 2)
+          ids
+  in
+  Printf.printf "CLUSEQ benchmark harness (scale %.2f)\n" !scale;
+  let total = ref 0.0 in
+  List.iter
+    (fun (id, f) ->
+      Printf.printf "\n################ %s ################\n%!" id;
+      Bench_util.current_experiment := id;
+      let (), secs = Timer.time (fun () -> f !scale) in
+      total := !total +. secs;
+      Printf.printf "[%s completed in %.1fs]\n%!" id secs)
+    to_run;
+  if run_micro then Micro.run ();
+  Printf.printf "\nall experiments done in %.1fs\n" !total

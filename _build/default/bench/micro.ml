@@ -1,0 +1,79 @@
+(* Bechamel micro-benchmarks of the core primitives: PST insertion,
+   prediction-node walks, the similarity DP, and the baseline distance
+   kernels. Complements the macro experiment harness with ns/op numbers. *)
+
+open Bechamel
+open Toolkit
+
+let mk_workload () =
+  Workload.generate
+    {
+      Workload.default_params with
+      n_sequences = 64;
+      avg_length = 200;
+      n_clusters = 4;
+      contexts_per_cluster = 120;
+      concentration = 0.15;
+      seed = 77;
+    }
+
+let tests () =
+  let w = mk_workload () in
+  let db = w.db in
+  let lbg = Seq_database.log_background db in
+  let seqs = Seq_database.sequences db in
+  let pst_cfg = { (Pst.default_config ~alphabet_size:26) with significance = 8 } in
+  (* A trained cluster PST for the query-side benches. *)
+  let trained = Pst.create pst_cfg in
+  Array.iteri (fun i s -> if w.labels.(i) = 0 then Pst.insert_sequence trained s) seqs;
+  let probe = seqs.(0) in
+  let mid = (Array.length probe - 1) / 2 in
+  let counter = ref 0 in
+  let next_seq () =
+    let s = seqs.(!counter mod Array.length seqs) in
+    incr counter;
+    s
+  in
+  [
+    Test.make ~name:"pst-insert-200sym"
+      (Staged.stage (fun () ->
+           let t = Pst.create pst_cfg in
+           Pst.insert_sequence t (next_seq ())));
+    Test.make ~name:"pst-prediction-walk"
+      (Staged.stage (fun () -> ignore (Pst.prediction_node trained probe ~lo:0 ~pos:mid)));
+    Test.make ~name:"pst-log-prob"
+      (Staged.stage (fun () -> ignore (Pst.log_prob trained probe ~lo:0 ~pos:mid)));
+    Test.make ~name:"similarity-dp-200sym"
+      (Staged.stage (fun () -> ignore (Similarity.score trained ~log_background:lbg (next_seq ()))));
+    Test.make ~name:"edit-distance-200x200"
+      (Staged.stage (fun () -> ignore (Edit_distance.distance (next_seq ()) (next_seq ()))));
+    Test.make ~name:"block-edit-200x200"
+      (Staged.stage (fun () -> ignore (Block_edit.distance (next_seq ()) (next_seq ()))));
+    Test.make ~name:"qgram-profile-200sym"
+      (Staged.stage (fun () -> ignore (Qgram.profile ~q:3 (next_seq ()))));
+    Test.make ~name:"hmm-loglik-10st-200sym"
+      (let m = Hmm.random (Rng.create 5) ~n_states:10 ~n_symbols:26 in
+       Staged.stage (fun () -> ignore (Hmm.log_likelihood m (next_seq ()))));
+  ]
+
+let run () =
+  Printf.printf "\n== Micro-benchmarks (Bechamel, ns/run) ==\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~stabilize:false ~quota:(Time.second 0.25) () in
+  let grouped = Test.make_grouped ~name:"cluseq" ~fmt:"%s/%s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some [ x ] -> x | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-40s %12.0f ns/run\n" name ns)
+    (List.sort compare !rows)

@@ -1,0 +1,290 @@
+(* cluseq — command-line front end.
+
+   Subcommands:
+     generate   synthesize a labeled sequence database (synthetic / protein /
+                language workloads) into a label<TAB>sequence file
+     cluster    run CLUSEQ on a sequence file, print cluster assignments
+     evaluate   score a clustering against the ground-truth labels in the file
+     info       print database statistics
+
+   All randomness is seeded; identical invocations produce identical
+   output. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let file_arg p =
+  Arg.(required & pos p (some string) None & info [] ~docv:"FILE" ~doc:"Sequence file (label<TAB>sequence lines).")
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("synthetic", `Synthetic); ("protein", `Protein); ("language", `Language) ]) `Synthetic
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Workload kind: synthetic, protein, or language.")
+  in
+  let n = Arg.(value & opt int 1000 & info [ "num" ] ~docv:"N" ~doc:"Number of sequences.") in
+  let len = Arg.(value & opt int 200 & info [ "len" ] ~docv:"L" ~doc:"Average sequence length.") in
+  let k = Arg.(value & opt int 10 & info [ "clusters" ] ~docv:"K" ~doc:"Embedded clusters / families.") in
+  let sigma = Arg.(value & opt int 26 & info [ "sigma" ] ~docv:"S" ~doc:"Alphabet size (synthetic only).") in
+  let outliers =
+    Arg.(value & opt float 0.05 & info [ "outliers" ] ~docv:"F" ~doc:"Outlier fraction (synthetic only).")
+  in
+  let contexts =
+    Arg.(value & opt int 120 & info [ "contexts" ] ~docv:"N" ~doc:"Generator contexts per cluster (synthetic only).")
+  in
+  let concentration =
+    Arg.(value & opt float 0.15 & info [ "separation" ] ~docv:"F" ~doc:"Context peakedness; smaller = better-separated clusters (synthetic only).")
+  in
+  let out = Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.") in
+  let run kind n len k sigma outliers contexts concentration seed out =
+    let rows, alphabet =
+      match kind with
+      | `Synthetic ->
+          let w =
+            Workload.generate
+              {
+                Workload.default_params with
+                n_sequences = n;
+                avg_length = len;
+                alphabet_size = sigma;
+                n_clusters = k;
+                outlier_fraction = outliers;
+                contexts_per_cluster = contexts;
+                concentration;
+                seed;
+              }
+          in
+          ( Array.mapi
+              (fun i s -> (string_of_int w.labels.(i), s))
+              (Seq_database.sequences w.db),
+            Seq_database.alphabet w.db )
+      | `Protein ->
+          let p =
+            Protein_sim.generate
+              {
+                Protein_sim.default_params with
+                n_families = k;
+                total_sequences = n;
+                avg_length = len;
+                seed;
+              }
+          in
+          ( Array.mapi
+              (fun i s -> (string_of_int p.labels.(i), s))
+              (Seq_database.sequences p.db),
+            Seq_database.alphabet p.db )
+      | `Language ->
+          let l =
+            Language_sim.generate
+              { Language_sim.default_params with per_language = n / 3; seed }
+          in
+          ( Array.mapi
+              (fun i s -> (string_of_int l.labels.(i), s))
+              (Seq_database.sequences l.db),
+            Seq_database.alphabet l.db )
+    in
+    Seq_io.write_labeled out alphabet rows;
+    Printf.printf "wrote %d sequences to %s\n" (Array.length rows) out
+  in
+  let term =
+    Term.(const run $ kind $ n $ len $ k $ sigma $ outliers $ contexts $ concentration $ seed_arg $ out)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a labeled synthetic sequence database.") term
+
+(* ------------------------------------------------------------------ *)
+(* cluster                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let config_args =
+  let k_init = Arg.(value & opt int 1 & info [ "k-init" ] ~docv:"K" ~doc:"Initial number of clusters.") in
+  let c = Arg.(value & opt int 30 & info [ "significance" ] ~docv:"C" ~doc:"Significance threshold (paper: >= 30; scale down with the data).") in
+  let t = Arg.(value & opt float 1.2 & info [ "threshold" ] ~docv:"T" ~doc:"Initial similarity threshold (linear, >= 1).") in
+  let depth = Arg.(value & opt int 10 & info [ "depth" ] ~docv:"L" ~doc:"Max PST context length.") in
+  let max_nodes = Arg.(value & opt int 20000 & info [ "max-nodes" ] ~docv:"N" ~doc:"PST node budget per cluster.") in
+  let residual = Arg.(value & opt (some int) None & info [ "min-residual" ] ~docv:"R" ~doc:"Consolidation keep-threshold (default: C).") in
+  let no_adjust = Arg.(value & flag & info [ "no-adjust" ] ~doc:"Disable automatic threshold adjustment.") in
+  let order =
+    Arg.(
+      value
+      & opt (enum [ ("fixed", Order.Fixed); ("random", Order.Random); ("cluster-based", Order.Cluster_based) ]) Order.Fixed
+      & info [ "order" ] ~docv:"ORDER" ~doc:"Sequence examination order.")
+  in
+  let iters = Arg.(value & opt int 50 & info [ "max-iterations" ] ~docv:"M" ~doc:"Iteration cap.") in
+  let make k_init c t depth max_nodes residual no_adjust order iters seed =
+    {
+      Cluseq.default_config with
+      k_init;
+      significance = c;
+      t_init = t;
+      max_depth = depth;
+      max_nodes;
+      min_residual = residual;
+      adjust_threshold = not no_adjust;
+      order;
+      max_iterations = iters;
+      seed;
+    }
+  in
+  Term.(const make $ k_init $ c $ t $ depth $ max_nodes $ residual $ no_adjust $ order $ iters $ seed_arg)
+
+let cluster_cmd =
+  let assignments_out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write per-sequence assignments (id, clusters) to FILE.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-iteration statistics.") in
+  let run file config assignments_out verbose =
+    let alphabet, rows = Seq_io.read_labeled file in
+    let db, _labels = Seq_io.to_database alphabet rows in
+    let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
+    Printf.printf "clusters: %d  iterations: %d  final t: %.4g  outliers: %d  time: %.2fs\n"
+      result.n_clusters result.iterations result.final_t (List.length result.outliers) seconds;
+    if verbose then
+      List.iter
+        (fun (h : Cluseq.iteration_stats) ->
+          Printf.printf "  iter %2d: new=%d consolidated=%d clusters=%d unclustered=%d t=%.4g changes=%d\n"
+            h.iteration h.new_clusters h.consolidated h.clusters h.unclustered h.threshold
+            h.membership_changes)
+        result.history;
+    Array.iter
+      (fun (id, members) -> Printf.printf "cluster %d: %d sequences\n" id (Array.length members))
+      result.clusters;
+    match assignments_out with
+    | None -> ()
+    | Some out ->
+        let oc = open_out out in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Array.iteri
+              (fun i cs ->
+                Printf.fprintf oc "%d\t%s\n" i (String.concat "," (List.map string_of_int cs)))
+              result.assignments);
+        Printf.printf "assignments written to %s\n" out
+  in
+  let term = Term.(const run $ file_arg 0 $ config_args $ assignments_out $ verbose) in
+  Cmd.v (Cmd.info "cluster" ~doc:"Run CLUSEQ on a sequence file.") term
+
+(* ------------------------------------------------------------------ *)
+(* train / classify                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let train_cmd =
+  let model_out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trained classifier model to FILE.")
+  in
+  let run file config model_out =
+    let alphabet, rows = Seq_io.read_labeled file in
+    let db, _ = Seq_io.to_database alphabet rows in
+    let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
+    Printf.printf "clusters: %d  final t: %.4g  time: %.2fs
+" result.n_clusters
+      result.final_t seconds;
+    let clf = Classifier.of_result result db in
+    Classifier.save model_out clf;
+    Printf.printf "model written to %s (%d cluster models)
+" model_out
+      (Classifier.n_clusters clf)
+  in
+  let term = Term.(const run $ file_arg 0 $ config_args $ model_out) in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Cluster a sequence file and save the models for later classification.")
+    term
+
+let classify_cmd =
+  let model_arg =
+    Arg.(required & opt (some string) None & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Classifier model from 'cluseq train'.")
+  in
+  let run file model =
+    let clf = Classifier.load model in
+    (* Encode with the model's own alphabet: an independently inferred
+       alphabet would permute symbol codes. *)
+    let alphabet, rows = Seq_io.read_labeled ?alphabet:(Classifier.alphabet clf) file in
+    let db, labels = Seq_io.to_database alphabet rows in
+    let verdicts = Classifier.classify_all clf db in
+    let outliers = ref 0 in
+    Array.iteri
+      (fun i (v : Classifier.verdict) ->
+        match v.cluster with
+        | Some c -> Printf.printf "%d	%s	cluster %d	log-sim %.2f
+" i labels.(i) c v.log_sim
+        | None ->
+            incr outliers;
+            Printf.printf "%d	%s	outlier	log-sim %.2f
+" i labels.(i) v.log_sim)
+      verdicts;
+    Printf.printf "# %d sequences, %d outliers, threshold %.4g, %d cluster models
+"
+      (Array.length verdicts) !outliers (Classifier.threshold clf) (Classifier.n_clusters clf)
+  in
+  let term = Term.(const run $ file_arg 0 $ model_arg) in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify sequences against a trained model.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* evaluate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let evaluate_cmd =
+  let run file config =
+    let alphabet, rows = Seq_io.read_labeled file in
+    let db, label_names = Seq_io.to_database alphabet rows in
+    (* Ground truth: numeric labels, "-1" marking outliers. *)
+    let truth =
+      Array.map (fun l -> match int_of_string_opt l with Some v -> v | None -> -1) label_names
+    in
+    let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
+    let n = Seq_database.n_sequences db in
+    let hard = Cluseq.hard_labels result ~n in
+    let pred_class = Matching.relabel ~truth ~pred:hard in
+    Printf.printf "clusters: %d (time %.2fs)\n" result.n_clusters seconds;
+    Printf.printf "accuracy: %.1f%%\n" (100.0 *. Metrics.accuracy ~truth ~pred_class);
+    Printf.printf "ARI: %.3f\n" (Metrics.adjusted_rand_index ~truth ~pred:hard);
+    Printf.printf "%-8s %11s %8s\n" "class" "precision%" "recall%";
+    List.iter
+      (fun (cls, (pr : Metrics.pr)) ->
+        Printf.printf "%-8d %11.1f %8.1f\n" cls (100.0 *. pr.precision) (100.0 *. pr.recall))
+      (Metrics.per_class ~truth ~pred_class);
+    let out = Metrics.outlier_detection ~truth ~pred_class in
+    Printf.printf "outlier detection: precision %.1f%% recall %.1f%%\n"
+      (100.0 *. out.precision) (100.0 *. out.recall)
+  in
+  let term = Term.(const run $ file_arg 0 $ config_args) in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Cluster a labeled file and score against its ground truth.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run file =
+    let alphabet, rows = Seq_io.read_labeled file in
+    let db, labels = Seq_io.to_database alphabet rows in
+    Printf.printf "sequences: %d\n" (Seq_database.n_sequences db);
+    Printf.printf "alphabet:  %d symbols\n" (Alphabet.size alphabet);
+    Printf.printf "avg length: %.1f\n" (Seq_database.avg_length db);
+    Printf.printf "total symbols: %d\n" (Seq_database.total_symbols db);
+    let distinct = List.sort_uniq compare (Array.to_list labels) in
+    Printf.printf "distinct labels: %d\n" (List.length distinct)
+  in
+  let term = Term.(const run $ file_arg 0) in
+  Cmd.v (Cmd.info "info" ~doc:"Print statistics of a sequence file.") term
+
+let () =
+  let doc = "CLUSEQ: probabilistic-suffix-tree sequence clustering (ICDE 2003)" in
+  let info = Cmd.info "cluseq" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+          [ generate_cmd; cluster_cmd; train_cmd; classify_cmd; evaluate_cmd; info_cmd ]))

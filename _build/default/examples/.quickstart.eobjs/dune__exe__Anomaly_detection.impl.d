@@ -1,0 +1,1 @@
+examples/anomaly_detection.ml: Array Cluseq Float Format Matching Metrics Pst Seq_database Similarity Timer Workload

@@ -1,0 +1,1 @@
+examples/language_clustering.ml: Cluseq Format Language_sim List Matching Metrics Seq_database Timer

@@ -1,0 +1,1 @@
+examples/protein_families.ml: Array Cluseq Format List Matching Metrics Protein_sim Seq_database String Timer

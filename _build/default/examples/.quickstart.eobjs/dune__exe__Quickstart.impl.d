@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alphabet Array Classifier Cluseq Format List Pst Seq_database Sequence String

@@ -1,0 +1,1 @@
+examples/streaming_logs.ml: Array Cluseq Format List Online Printf Seq_database String Workload

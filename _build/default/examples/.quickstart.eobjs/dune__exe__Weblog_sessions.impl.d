@@ -1,0 +1,1 @@
+examples/weblog_sessions.ml: Alphabet Array Buffer Cluseq Format List Matching Metrics Rng Seq_database String Timer

@@ -1,0 +1,73 @@
+(* Streaming clustering of an event feed (Online module).
+
+   Run with:  dune exec examples/streaming_logs.exe
+
+   Sequences arrive one at a time, as in a live log pipeline. The stream
+   starts with two behavioral modes; a third mode appears halfway through
+   ("deployment changes the traffic"), and the online clusterer discovers
+   it from its buffer without any restart. *)
+
+let () =
+  let base =
+    {
+      Workload.default_params with
+      n_sequences = 600;
+      avg_length = 250;
+      n_clusters = 3;
+      contexts_per_cluster = 120;
+      concentration = 0.15;
+      outlier_fraction = 0.0;
+      seed = 51;
+    }
+  in
+  let w = Workload.generate base in
+  (* Phase 1: only modes 0 and 1 arrive; phase 2: all three. *)
+  let phase1, phase2 = (ref [], ref []) in
+  Seq_database.iteri
+    (fun i s ->
+      match w.labels.(i) with
+      | 2 -> phase2 := s :: !phase2
+      | _ ->
+          if List.length !phase1 < 200 then phase1 := s :: !phase1
+          else phase2 := s :: !phase2)
+    w.db;
+
+  let state =
+    Online.create
+      ~config:
+        {
+          Cluseq.default_config with
+          k_init = 2;
+          significance = 8;
+          min_residual = Some 8;
+          t_init = exp 10.0;
+          max_iterations = 20;
+        }
+      ~mine_at:60 ~alphabet_size:26 ()
+  in
+  let report label =
+    let st = Online.stats state in
+    Format.printf
+      "%-22s fed=%4d  live-assigned=%4d  clusters=%d  buffered=%3d  dropped=%d@." label
+      st.fed st.assigned st.n_clusters st.buffered st.dropped_outliers
+  in
+  List.iter (fun s -> ignore (Online.feed state s)) (List.rev !phase1);
+  report "after phase 1:";
+  List.iter (fun s -> ignore (Online.feed state s)) (List.rev !phase2);
+  ignore (Online.mine state);
+  report "after phase 2 (+mode):";
+  Format.printf "cluster sizes: %s@."
+    (String.concat ", "
+       (List.map (fun (id, n) -> Printf.sprintf "#%d=%d" id n) (Online.cluster_sizes state)));
+
+  (* The late-appearing mode must be recognizable now. *)
+  let held_out = Workload.resample w ~n_sequences:30 ~seed:52 in
+  let hits = ref 0 and total = ref 0 in
+  Seq_database.iteri
+    (fun i s ->
+      if held_out.labels.(i) = 2 then begin
+        incr total;
+        if Online.classify state s <> None then incr hits
+      end)
+    held_out.db;
+  Format.printf "late mode recognized on held-out data: %d/%d@." !hits !total

@@ -1,0 +1,125 @@
+(* Clustering web access-log sessions — one of the sequence-data domains
+   the paper's introduction motivates ("web usage data, system traces").
+
+   Run with:  dune exec examples/weblog_sessions.exe
+
+   Each session is the sequence of page types a visitor navigates
+   (h = home, c = catalog, p = product, b = basket, k = checkout,
+   s = search, a = account, f = faq, l = login, o = logout). Three
+   behavioral modes generate the traffic — browsers, buyers, and account
+   managers — plus a sliver of crawler-like noise hitting pages uniformly.
+   CLUSEQ recovers the modes and isolates the crawlers without being told
+   how many modes exist. *)
+
+let page_alphabet = Alphabet.of_string "hcpbksaflo"
+
+type mode = { name : string; start : char; moves : (char * (char * float) list) list }
+
+let browser =
+  {
+    name = "browsers";
+    start = 'h';
+    moves =
+      [
+        ('h', [ ('c', 0.5); ('s', 0.4); ('h', 0.1) ]);
+        ('c', [ ('p', 0.7); ('c', 0.2); ('h', 0.1) ]);
+        ('p', [ ('c', 0.5); ('p', 0.3); ('s', 0.2) ]);
+        ('s', [ ('p', 0.6); ('s', 0.3); ('h', 0.1) ]);
+      ];
+  }
+
+let buyer =
+  {
+    name = "buyers";
+    start = 's';
+    moves =
+      [
+        ('s', [ ('p', 0.8); ('s', 0.2) ]);
+        ('p', [ ('b', 0.6); ('p', 0.3); ('s', 0.1) ]);
+        ('b', [ ('k', 0.5); ('p', 0.3); ('b', 0.2) ]);
+        ('k', [ ('k', 0.3); ('b', 0.2); ('p', 0.5) ]);
+        ('h', [ ('s', 1.0) ]);
+      ];
+  }
+
+let account_manager =
+  {
+    name = "account";
+    start = 'l';
+    moves =
+      [
+        ('l', [ ('a', 0.9); ('f', 0.1) ]);
+        ('a', [ ('a', 0.4); ('f', 0.3); ('o', 0.3) ]);
+        ('f', [ ('a', 0.6); ('f', 0.2); ('o', 0.2) ]);
+        ('o', [ ('l', 0.6); ('a', 0.4) ]);
+      ];
+  }
+
+let step rng mode page =
+  match List.assoc_opt page mode.moves with
+  | None -> mode.start
+  | Some choices ->
+      let weights = Array.of_list (List.map snd choices) in
+      fst (List.nth choices (Rng.categorical rng weights))
+
+let session rng mode len =
+  let buf = Buffer.create len in
+  let page = ref mode.start in
+  for _ = 1 to len do
+    Buffer.add_char buf !page;
+    page := step rng mode !page
+  done;
+  Buffer.contents buf
+
+let crawler rng len =
+  String.init len (fun _ -> "hcpbksaflo".[Rng.int rng 10])
+
+let () =
+  let rng = Rng.create 101 in
+  let modes = [| browser; buyer; account_manager |] in
+  let rows = ref [] in
+  for label = 0 to 2 do
+    for _ = 1 to 120 do
+      let len = 80 + Rng.int rng 120 in
+      rows := (label, session rng modes.(label) len) :: !rows
+    done
+  done;
+  for _ = 1 to 20 do
+    rows := (-1, crawler rng (80 + Rng.int rng 120)) :: !rows
+  done;
+  let rows = Array.of_list !rows in
+  Rng.shuffle rng rows;
+  let db =
+    Seq_database.create page_alphabet
+      (Array.map (fun (_, s) -> Alphabet.encode_string page_alphabet s) rows)
+  in
+  let truth = Array.map fst rows in
+  Format.printf "sessions: %a (3 behavioral modes + 20 crawlers)@." Seq_database.pp db;
+
+  let config =
+    {
+      Cluseq.default_config with
+      k_init = 3;
+      significance = 10;
+      min_residual = Some 10;
+      max_depth = 5;
+      t_init = 1.2;
+      seed = 4;
+    }
+  in
+  let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
+  Format.printf "CLUSEQ: %d modes found in %d iterations (%.2f s)@." result.n_clusters
+    result.iterations seconds;
+
+  let hard = Cluseq.hard_labels result ~n:(Seq_database.n_sequences db) in
+  let pred_class = Matching.relabel ~truth ~pred:hard in
+  Format.printf "accuracy: %.1f%%  ARI: %.3f@."
+    (100.0 *. Metrics.accuracy ~truth ~pred_class)
+    (Metrics.adjusted_rand_index ~truth ~pred:hard);
+  List.iter
+    (fun (cls, (pr : Metrics.pr)) ->
+      Format.printf "  %-10s precision %5.1f%%  recall %5.1f%%@."
+        modes.(cls).name (100.0 *. pr.precision) (100.0 *. pr.recall))
+    (Metrics.per_class ~truth ~pred_class);
+  let det = Metrics.outlier_detection ~truth ~pred_class in
+  Format.printf "  crawlers flagged as outliers: %.0f%% recall@." (100.0 *. det.recall)

@@ -1,0 +1,1 @@
+lib/baselines/baseline_cluster.ml: Alphabet Array Block_edit Edit_distance Hmm Kmedoids Qgram Rng Seq_database

@@ -1,0 +1,1 @@
+lib/baselines/baseline_cluster.mli: Rng Seq_database

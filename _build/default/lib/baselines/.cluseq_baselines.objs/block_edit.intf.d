@@ -1,0 +1,1 @@
+lib/baselines/block_edit.mli: Sequence

@@ -1,0 +1,1 @@
+lib/baselines/hmm.ml: Array Float Fun List Rng

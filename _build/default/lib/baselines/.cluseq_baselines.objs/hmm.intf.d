@@ -1,0 +1,1 @@
+lib/baselines/hmm.mli: Rng Sequence

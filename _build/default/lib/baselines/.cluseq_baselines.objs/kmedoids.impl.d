@@ -1,0 +1,1 @@
+lib/baselines/kmedoids.ml: Array Hashtbl List Rng

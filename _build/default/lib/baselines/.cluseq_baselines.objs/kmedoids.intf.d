@@ -1,0 +1,1 @@
+lib/baselines/kmedoids.mli: Rng

@@ -1,0 +1,1 @@
+lib/baselines/qgram.ml: Array Hashtbl List Option Rng

@@ -1,0 +1,1 @@
+lib/baselines/qgram.mli: Rng Sequence

@@ -1,0 +1,18 @@
+(** Uniform front-end over the four baseline clusterers of paper Table 2.
+
+    Every baseline needs the target cluster count [k] up front (unlike
+    CLUSEQ, which discovers it); the Table 2 bench passes the ground-truth
+    k, which if anything favors the baselines. *)
+
+type method_ =
+  | Edit_distance  (** k-medoids over Levenshtein distance ("ED"). *)
+  | Block_edit  (** k-medoids over greedy block-edit distance ("EDBO"). *)
+  | Hmm of int  (** Mixture of HMMs with the given state count ("HMM"). *)
+  | Qgram of int  (** Spherical k-means over q-gram profiles ("q-gram"). *)
+
+val method_name : method_ -> string
+(** Display name matching the paper's Table 2 column headers. *)
+
+val run : Rng.t -> k:int -> method_ -> Seq_database.t -> int array
+(** [run rng ~k m db] clusters the database into [k] groups and returns a
+    hard label per sequence (cluster ids in [\[0, k)]). *)

@@ -1,0 +1,53 @@
+(* Longest common substring of the unmasked portions of [a] and [b], via
+   the classic O(|a|·|b|) DP on match run lengths. Masked positions break
+   runs. Returns (len, end_a, end_b) with inclusive end positions. *)
+let longest_common_unmasked a mask_a b mask_b =
+  let m = Array.length a and n = Array.length b in
+  let prev = Array.make (n + 1) 0 and curr = Array.make (n + 1) 0 in
+  let best = ref 0 and best_i = ref (-1) and best_j = ref (-1) in
+  for i = 1 to m do
+    Array.fill curr 0 (n + 1) 0;
+    if not mask_a.(i - 1) then
+      for j = 1 to n do
+        if (not mask_b.(j - 1)) && a.(i - 1) = b.(j - 1) then begin
+          curr.(j) <- prev.(j - 1) + 1;
+          if curr.(j) > !best then begin
+            best := curr.(j);
+            best_i := i - 1;
+            best_j := j - 1
+          end
+        end
+      done;
+    Array.blit curr 0 prev 0 (n + 1)
+  done;
+  (!best, !best_i, !best_j)
+
+let distance ?(min_block = 3) ?(block_cost = 1) ?(max_blocks = max_int) a b =
+  if min_block < 1 then invalid_arg "Block_edit.distance";
+  (* Greedy tie-breaking depends on argument order; canonicalize so the
+     distance is symmetric by construction. *)
+  let a, b = if compare a b <= 0 then (a, b) else (b, a) in
+  let m = Array.length a and n = Array.length b in
+  let mask_a = Array.make m false and mask_b = Array.make n false in
+  let cost = ref 0 in
+  let blocks = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let len, ia, jb = longest_common_unmasked a mask_a b mask_b in
+    if len >= min_block && !blocks < max_blocks then begin
+      incr blocks;
+      for k = 0 to len - 1 do
+        mask_a.(ia - k) <- true;
+        mask_b.(jb - k) <- true
+      done;
+      cost := !cost + block_cost
+    end
+    else continue_ := false
+  done;
+  let uncovered mask = Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 mask in
+  !cost + uncovered mask_a + uncovered mask_b
+
+let normalized ?min_block a b =
+  let m = Array.length a and n = Array.length b in
+  if m = 0 && n = 0 then 0.0
+  else float_of_int (distance ?min_block a b) /. float_of_int (m + n)

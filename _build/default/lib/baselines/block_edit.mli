@@ -1,0 +1,25 @@
+(** Approximate edit distance with block operations — the "EDBO" baseline
+    of paper Table 2.
+
+    Exact block-edit distance is NP-hard (paper ref [21], Muthukrishnan &
+    Sahinalp), and the paper does not state which approximation it ran; we
+    use the standard greedy block-cover heuristic: repeatedly extract the
+    longest common substring of the not-yet-covered portions (each
+    extraction = one block move, constant cost), until no common substring
+    of length ≥ [min_block] remains; leftover symbols pay unit
+    insert/delete cost. This captures what matters for the comparison —
+    block rearrangements ([aaaabbb] vs [bbbaaaa]) become cheap, while the
+    computation is markedly more expensive than plain edit distance. *)
+
+val distance :
+  ?min_block:int -> ?block_cost:int -> ?max_blocks:int -> Sequence.t -> Sequence.t -> int
+(** [distance a b] is the greedy block-edit cost: [block_cost] (default 1)
+    per extracted common block of length ≥ [min_block] (default 3), plus 1
+    per uncovered symbol on either side. Symmetric by construction.
+    [max_blocks] (default unlimited) caps the number of extraction rounds
+    — each round costs a full O(|a|·|b|) scan, so clustering-scale callers
+    bound it; leftovers then pay unit cost, an upper-bound approximation. *)
+
+val normalized : ?min_block:int -> Sequence.t -> Sequence.t -> float
+(** Distance divided by [|a| + |b|] (the worst case when nothing is
+    shared); [0.] for two empty sequences. *)

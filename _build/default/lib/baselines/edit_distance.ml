@@ -1,0 +1,50 @@
+let distance a b =
+  let m = Array.length a and n = Array.length b in
+  if m = 0 then n
+  else if n = 0 then m
+  else begin
+    (* Two-row DP over the shorter dimension. *)
+    let a, b, m, n = if m <= n then (a, b, m, n) else (b, a, n, m) in
+    ignore m;
+    let prev = Array.init (Array.length a + 1) Fun.id in
+    let curr = Array.make (Array.length a + 1) 0 in
+    for j = 1 to n do
+      curr.(0) <- j;
+      for i = 1 to Array.length a do
+        let cost = if a.(i - 1) = b.(j - 1) then 0 else 1 in
+        curr.(i) <- min (min (curr.(i - 1) + 1) (prev.(i) + 1)) (prev.(i - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (Array.length a + 1)
+    done;
+    prev.(Array.length a)
+  end
+
+let distance_banded ~band a b =
+  if band < 0 then invalid_arg "Edit_distance.distance_banded";
+  let m = Array.length a and n = Array.length b in
+  if abs (m - n) > band then max m n (* can't align within the band *)
+  else begin
+    let inf = max_int / 2 in
+    let prev = Array.make (n + 1) inf and curr = Array.make (n + 1) inf in
+    for j = 0 to min n band do
+      prev.(j) <- j
+    done;
+    for i = 1 to m do
+      Array.fill curr 0 (n + 1) inf;
+      let jlo = max 0 (i - band) and jhi = min n (i + band) in
+      if jlo = 0 then curr.(0) <- i;
+      for j = max 1 jlo to jhi do
+        let cost = if a.(i - 1) = b.(j - 1) then 0 else 1 in
+        let best = prev.(j - 1) + cost in
+        let best = if curr.(j - 1) + 1 < best then curr.(j - 1) + 1 else best in
+        let best = if prev.(j) + 1 < best then prev.(j) + 1 else best in
+        curr.(j) <- best
+      done;
+      Array.blit curr 0 prev 0 (n + 1)
+    done;
+    if prev.(n) >= inf then max m n else prev.(n)
+  end
+
+let normalized a b =
+  let m = Array.length a and n = Array.length b in
+  if m = 0 && n = 0 then 0.0 else float_of_int (distance a b) /. float_of_int (max m n)

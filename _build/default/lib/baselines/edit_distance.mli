@@ -1,0 +1,20 @@
+(** Levenshtein edit distance — the "ED" baseline of paper Table 2.
+
+    The paper criticizes edit distance for capturing only the optimal
+    global alignment (its footnote 1 example: [aaaabbb] vs [bbbaaaa] scores
+    as badly as vs [abcdefg]); this implementation exists to reproduce that
+    comparison. *)
+
+val distance : Sequence.t -> Sequence.t -> int
+(** [distance a b] is the minimum number of single-symbol insertions,
+    deletions, and substitutions transforming [a] into [b]. O(|a|·|b|)
+    time, O(min) space. *)
+
+val distance_banded : band:int -> Sequence.t -> Sequence.t -> int
+(** [distance_banded ~band a b] is the edit distance restricted to
+    alignments within a diagonal band of half-width [band]; an admissible
+    lower bound that equals the true distance when it is ≤ [band].
+    Cells outside the band are treated as unreachable. *)
+
+val normalized : Sequence.t -> Sequence.t -> float
+(** [distance a b / max |a| |b|]; [0.] for two empty sequences. *)

@@ -1,0 +1,225 @@
+type t = {
+  pi : float array;
+  a : float array array;
+  b : float array array;
+}
+
+let n_states t = Array.length t.pi
+let n_symbols t = Array.length t.b.(0)
+
+let normalize_row row =
+  let s = Array.fold_left ( +. ) 0.0 row in
+  if s <= 0.0 then Array.fill row 0 (Array.length row) (1.0 /. float_of_int (Array.length row))
+  else Array.iteri (fun i x -> row.(i) <- x /. s) row
+
+let random rng ~n_states ~n_symbols =
+  if n_states <= 0 || n_symbols <= 0 then invalid_arg "Hmm.random";
+  let rand_row n = Array.init n (fun _ -> 0.1 +. Rng.float rng 1.0) in
+  let pi = rand_row n_states in
+  let a = Array.init n_states (fun _ -> rand_row n_states) in
+  let b = Array.init n_states (fun _ -> rand_row n_symbols) in
+  normalize_row pi;
+  Array.iter normalize_row a;
+  Array.iter normalize_row b;
+  { pi; a; b }
+
+(* Scaled forward pass: returns (alpha, scales) with
+   alpha.(t).(i) = P(state_t = i | s_0..s_t) and
+   scales.(t) = P(s_t | s_0..s_{t-1}); log-likelihood = sum log scales. *)
+let forward t s =
+  let ns = n_states t and l = Array.length s in
+  let alpha = Array.make_matrix l ns 0.0 in
+  let scales = Array.make l 0.0 in
+  if l > 0 then begin
+    for i = 0 to ns - 1 do
+      alpha.(0).(i) <- t.pi.(i) *. t.b.(i).(s.(0))
+    done;
+    let c = Array.fold_left ( +. ) 0.0 alpha.(0) in
+    let c = if c <= 0.0 then 1e-300 else c in
+    scales.(0) <- c;
+    for i = 0 to ns - 1 do
+      alpha.(0).(i) <- alpha.(0).(i) /. c
+    done;
+    for u = 1 to l - 1 do
+      for j = 0 to ns - 1 do
+        let acc = ref 0.0 in
+        for i = 0 to ns - 1 do
+          acc := !acc +. (alpha.(u - 1).(i) *. t.a.(i).(j))
+        done;
+        alpha.(u).(j) <- !acc *. t.b.(j).(s.(u))
+      done;
+      let c = Array.fold_left ( +. ) 0.0 alpha.(u) in
+      let c = if c <= 0.0 then 1e-300 else c in
+      scales.(u) <- c;
+      for j = 0 to ns - 1 do
+        alpha.(u).(j) <- alpha.(u).(j) /. c
+      done
+    done
+  end;
+  (alpha, scales)
+
+let log_likelihood t s =
+  if Array.length s = 0 then 0.0
+  else begin
+    let _, scales = forward t s in
+    Array.fold_left (fun acc c -> acc +. log c) 0.0 scales
+  end
+
+(* Scaled backward pass using the forward scales. *)
+let backward t s scales =
+  let ns = n_states t and l = Array.length s in
+  let beta = Array.make_matrix l ns 0.0 in
+  if l > 0 then begin
+    for i = 0 to ns - 1 do
+      beta.(l - 1).(i) <- 1.0 /. scales.(l - 1)
+    done;
+    for u = l - 2 downto 0 do
+      for i = 0 to ns - 1 do
+        let acc = ref 0.0 in
+        for j = 0 to ns - 1 do
+          acc := !acc +. (t.a.(i).(j) *. t.b.(j).(s.(u + 1)) *. beta.(u + 1).(j))
+        done;
+        beta.(u).(i) <- !acc /. scales.(u)
+      done
+    done
+  end;
+  beta
+
+let baum_welch ?(iterations = 5) ?(floor = 1e-6) t data =
+  let ns = n_states t and nsym = n_symbols t in
+  let model = ref { pi = Array.copy t.pi; a = Array.map Array.copy t.a; b = Array.map Array.copy t.b } in
+  for _ = 1 to iterations do
+    let m = !model in
+    let pi_acc = Array.make ns 0.0 in
+    let a_acc = Array.make_matrix ns ns 0.0 in
+    let b_acc = Array.make_matrix ns nsym 0.0 in
+    List.iter
+      (fun s ->
+        let l = Array.length s in
+        if l > 0 then begin
+          let alpha, scales = forward m s in
+          let beta = backward m s scales in
+          (* gamma.(u).(i) ∝ alpha.(u).(i) * beta.(u).(i) * scales.(u) *)
+          for u = 0 to l - 1 do
+            let denom = ref 0.0 in
+            let g = Array.make ns 0.0 in
+            for i = 0 to ns - 1 do
+              g.(i) <- alpha.(u).(i) *. beta.(u).(i) *. scales.(u);
+              denom := !denom +. g.(i)
+            done;
+            if !denom > 0.0 then
+              for i = 0 to ns - 1 do
+                let gi = g.(i) /. !denom in
+                if u = 0 then pi_acc.(i) <- pi_acc.(i) +. gi;
+                b_acc.(i).(s.(u)) <- b_acc.(i).(s.(u)) +. gi
+              done
+          done;
+          for u = 0 to l - 2 do
+            for i = 0 to ns - 1 do
+              for j = 0 to ns - 1 do
+                let xi = alpha.(u).(i) *. m.a.(i).(j) *. m.b.(j).(s.(u + 1)) *. beta.(u + 1).(j) in
+                a_acc.(i).(j) <- a_acc.(i).(j) +. xi
+              done
+            done
+          done
+        end)
+      data;
+    let floor_and_norm row =
+      Array.iteri (fun i x -> row.(i) <- Float.max floor x) row;
+      normalize_row row
+    in
+    floor_and_norm pi_acc;
+    Array.iter floor_and_norm a_acc;
+    Array.iter floor_and_norm b_acc;
+    model := { pi = pi_acc; a = a_acc; b = b_acc }
+  done;
+  !model
+
+type mixture_result = {
+  labels : int array;
+  models : t array;
+  iterations : int;
+}
+
+let cluster_once rng ~k ~n_states ~n_symbols ~rounds ~em_iterations ~init_labels data =
+  let n = Array.length data in
+  let models = Array.init k (fun _ -> random rng ~n_states ~n_symbols) in
+  (* Warm start: train each model on an initial shard — caller-provided
+     partition when available (e.g. a quick q-gram k-means), random
+     otherwise. *)
+  let shard_of =
+    match init_labels with
+    | Some labels when Array.length labels = n -> fun pos i -> ignore pos; labels.(i) mod k
+    | _ ->
+        let shard = Array.init n (fun i -> i) in
+        Rng.shuffle rng shard;
+        fun pos _ -> shard.(pos) mod k
+  in
+  Array.iteri
+    (fun c _ ->
+      let members = ref [] in
+      Array.iteri (fun pos i -> if shard_of pos i = c then members := data.(i) :: !members)
+        (Array.init n Fun.id);
+      if !members <> [] then models.(c) <- baum_welch ~iterations:em_iterations models.(c) !members)
+    models;
+  let labels = Array.make n (-1) in
+  let iters = ref 0 in
+  let changed = ref true in
+  while !changed && !iters < rounds do
+    incr iters;
+    changed := false;
+    (* Per-symbol normalized likelihood so sequence length doesn't bias. *)
+    Array.iteri
+      (fun i s ->
+        let len = float_of_int (max 1 (Array.length s)) in
+        let best = ref 0 and best_ll = ref neg_infinity in
+        Array.iteri
+          (fun c m ->
+            let ll = log_likelihood m s /. len in
+            if ll > !best_ll then begin
+              best_ll := ll;
+              best := c
+            end)
+          models;
+        if labels.(i) <> !best then begin
+          labels.(i) <- !best;
+          changed := true
+        end)
+      data;
+    if !changed then
+      Array.iteri
+        (fun c m ->
+          let members = ref [] in
+          Array.iteri (fun i l -> if l = c then members := data.(i) :: !members) labels;
+          if !members <> [] then models.(c) <- baum_welch ~iterations:em_iterations m !members)
+        models
+  done;
+  (* Score the fit: total per-symbol-normalized best log-likelihood. *)
+  let score =
+    Array.fold_left
+      (fun acc s ->
+        let len = float_of_int (max 1 (Array.length s)) in
+        acc
+        +. Array.fold_left (fun b m -> Float.max b (log_likelihood m s /. len)) neg_infinity models)
+      0.0 data
+  in
+  ({ labels; models; iterations = !iters }, score)
+
+let cluster rng ~k ~n_states ~n_symbols ?(rounds = 5) ?(em_iterations = 3) ?(restarts = 1)
+    ?init_labels data =
+  let n = Array.length data in
+  if k <= 0 || k > n then invalid_arg "Hmm.cluster";
+  if restarts < 1 then invalid_arg "Hmm.cluster: restarts";
+  let best = ref None in
+  for attempt = 1 to restarts do
+    (* First attempt uses the provided initial partition; later restarts
+       explore random initializations. *)
+    let init_labels = if attempt = 1 then init_labels else None in
+    let r, score =
+      cluster_once (Rng.split rng) ~k ~n_states ~n_symbols ~rounds ~em_iterations ~init_labels data
+    in
+    match !best with
+    | Some (_, s) when s >= score -> ()
+    | _ -> best := Some (r, score)
+  done;
+  match !best with Some (r, _) -> r | None -> assert false

@@ -1,0 +1,64 @@
+(** Discrete hidden Markov models — the "HMM" baseline of paper Table 2
+    (30 states in the paper's run).
+
+    A full from-scratch implementation: scaled forward/backward recursions
+    (no underflow on long sequences), Baum–Welch re-estimation, and a
+    mixture-of-HMMs clusterer that alternates hard assignment to the
+    highest-likelihood model with per-cluster retraining — the standard way
+    to cluster sequences with HMMs, and the reading consistent with the
+    paper's footnote 3 (HMMs can model a cluster's distribution but are
+    computationally expensive, which Table 2 confirms). *)
+
+type t = {
+  pi : float array;  (** Initial state distribution (n_states). *)
+  a : float array array;  (** Transition matrix (n_states × n_states). *)
+  b : float array array;  (** Emission matrix (n_states × n_symbols). *)
+}
+
+val n_states : t -> int
+(** Number of hidden states. *)
+
+val n_symbols : t -> int
+(** Emission alphabet size. *)
+
+val random : Rng.t -> n_states:int -> n_symbols:int -> t
+(** A random, row-normalized model (Baum–Welch starting point). *)
+
+val log_likelihood : t -> Sequence.t -> float
+(** [log_likelihood t s] is {m \log P(s \mid t)} via the scaled forward
+    recursion; [0.] for an empty sequence. *)
+
+val baum_welch : ?iterations:int -> ?floor:float -> t -> Sequence.t list -> t
+(** [baum_welch t data] re-estimates the model on [data] with the given
+    number of EM iterations (default 5). All re-estimated probabilities
+    are floored at [floor] (default 1e-6) and renormalized, so zero counts
+    never freeze a parameter at 0. *)
+
+type mixture_result = {
+  labels : int array;  (** Model index per sequence. *)
+  models : t array;  (** The trained per-cluster models. *)
+  iterations : int;  (** Assignment/retrain rounds executed. *)
+}
+
+val cluster :
+  Rng.t ->
+  k:int ->
+  n_states:int ->
+  n_symbols:int ->
+  ?rounds:int ->
+  ?em_iterations:int ->
+  ?restarts:int ->
+  ?init_labels:int array ->
+  Sequence.t array ->
+  mixture_result
+(** [cluster rng ~k ~n_states ~n_symbols data] fits [k] HMMs by hard-EM:
+    random init, assign each sequence to its max-likelihood model
+    (normalized per symbol so lengths do not bias assignment), retrain
+    each model on its members, repeat for [rounds] (default 5) or until
+    assignments stop changing. With [restarts > 1] (default 1) the whole
+    procedure is repeated and the run with the highest total normalized
+    likelihood is kept — hard-EM over HMM mixtures is initialization-
+    sensitive, and restarts are the standard remedy. [init_labels], when
+    given, seeds the first attempt's models from that partition (e.g. a
+    quick q-gram k-means) instead of a random shard — the usual
+    "initialize mixture EM from k-means" practice. *)

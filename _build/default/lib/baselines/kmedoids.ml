@@ -1,0 +1,91 @@
+type result = {
+  labels : int array;
+  medoids : int array;
+  cost : float;
+  iterations : int;
+}
+
+let memoize ~n dist =
+  let cache = Hashtbl.create (4 * n) in
+  fun i j ->
+    if i = j then 0.0
+    else begin
+      let key = if i < j then (i, j) else (j, i) in
+      match Hashtbl.find_opt cache key with
+      | Some d -> d
+      | None ->
+          let d = dist (fst key) (snd key) in
+          Hashtbl.add cache key d;
+          d
+    end
+
+let precompute ~n dist =
+  let m = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = dist i j in
+      m.(i).(j) <- d;
+      m.(j).(i) <- d
+    done
+  done;
+  fun i j -> m.(i).(j)
+
+let run rng ~k ~n ?(max_iterations = 20) dist =
+  if k <= 0 || k > n then invalid_arg "Kmedoids.run";
+  let dist = memoize ~n dist in
+  let medoids = Rng.sample_without_replacement rng ~k ~n in
+  let labels = Array.make n 0 in
+  let assign () =
+    let cost = ref 0.0 in
+    for i = 0 to n - 1 do
+      let best = ref 0 and best_d = ref infinity in
+      for c = 0 to k - 1 do
+        let d = dist i medoids.(c) in
+        if d < !best_d then begin
+          best_d := d;
+          best := c
+        end
+      done;
+      labels.(i) <- !best;
+      cost := !cost +. !best_d
+    done;
+    !cost
+  in
+  let update () =
+    (* New medoid of each cluster: the member minimizing total in-cluster
+       distance. Returns whether any medoid moved. *)
+    let moved = ref false in
+    for c = 0 to k - 1 do
+      let members = ref [] in
+      for i = 0 to n - 1 do
+        if labels.(i) = c then members := i :: !members
+      done;
+      match !members with
+      | [] -> () (* empty cluster keeps its medoid *)
+      | ms ->
+          let best = ref medoids.(c) and best_cost = ref infinity in
+          List.iter
+            (fun cand ->
+              let cost = List.fold_left (fun acc i -> acc +. dist cand i) 0.0 ms in
+              if cost < !best_cost then begin
+                best_cost := cost;
+                best := cand
+              end)
+            ms;
+          if !best <> medoids.(c) then begin
+            medoids.(c) <- !best;
+            moved := true
+          end
+    done;
+    !moved
+  in
+  let cost = ref (assign ()) in
+  let iters = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !iters < max_iterations do
+    incr iters;
+    let moved = update () in
+    cost := assign ();
+    if not moved then continue_ := false
+  done;
+  { labels; medoids; cost = !cost; iterations = !iters }

@@ -1,0 +1,30 @@
+(** k-medoids clustering (PAM-style alternation) over an arbitrary
+    distance, used to turn the pairwise baselines (edit distance, block
+    edit distance) into clusterers for the Table 2 comparison. *)
+
+type result = {
+  labels : int array;  (** Cluster index in [\[0, k)] per item. *)
+  medoids : int array;  (** Item index of each cluster's medoid. *)
+  cost : float;  (** Sum of item→medoid distances. *)
+  iterations : int;  (** Alternation rounds executed. *)
+}
+
+val run :
+  Rng.t ->
+  k:int ->
+  n:int ->
+  ?max_iterations:int ->
+  (int -> int -> float) ->
+  result
+(** [run rng ~k ~n dist] clusters items [0 .. n-1] with distance
+    [dist i j]: random distinct initial medoids, then alternate
+    (assign-to-nearest-medoid / recompute medoid as the member minimizing
+    total in-cluster distance) until stable or [max_iterations] (default
+    20). [dist] is memoized internally (symmetric, zero diagonal assumed),
+    so callers can pass the raw O(l²) distance function directly.
+    Raises [Invalid_argument] when [k > n] or [k <= 0]. *)
+
+val precompute : n:int -> (int -> int -> float) -> int -> int -> float
+(** [precompute ~n dist] eagerly evaluates the full n×n matrix and returns
+    a lookup function — useful when the caller wants to time the distance
+    phase separately from the clustering phase. *)

@@ -1,0 +1,94 @@
+(* q-grams are keyed by the int list of their symbols: exact and
+   collision-free (symbol codes are unbounded ints in principle). *)
+module Key = struct
+  type t = int list
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type profile = { counts : float Tbl.t; mutable norm : float }
+
+let profile ~q s =
+  if q <= 0 then invalid_arg "Qgram.profile";
+  let counts = Tbl.create 64 in
+  let l = Array.length s in
+  for i = 0 to l - q do
+    let key = List.init q (fun j -> s.(i + j)) in
+    Tbl.replace counts key (1.0 +. Option.value ~default:0.0 (Tbl.find_opt counts key))
+  done;
+  let norm = sqrt (Tbl.fold (fun _ v acc -> acc +. (v *. v)) counts 0.0) in
+  { counts; norm }
+
+let dimensions p = Tbl.length p.counts
+
+let cosine a b =
+  if a.norm <= 0.0 || b.norm <= 0.0 then 0.0
+  else begin
+    (* Iterate the smaller table. *)
+    let small, large = if Tbl.length a.counts <= Tbl.length b.counts then (a, b) else (b, a) in
+    let dot =
+      Tbl.fold
+        (fun key v acc ->
+          match Tbl.find_opt large.counts key with
+          | Some w -> acc +. (v *. w)
+          | None -> acc)
+        small.counts 0.0
+    in
+    dot /. (a.norm *. b.norm)
+  end
+
+type result = { labels : int array; iterations : int }
+
+let centroid_of profiles members =
+  let counts = Tbl.create 256 in
+  List.iter
+    (fun i ->
+      let p = profiles.(i) in
+      if p.norm > 0.0 then
+        Tbl.iter
+          (fun key v ->
+            let nv = v /. p.norm in
+            Tbl.replace counts key (nv +. Option.value ~default:0.0 (Tbl.find_opt counts key)))
+          p.counts)
+    members;
+  let norm = sqrt (Tbl.fold (fun _ v acc -> acc +. (v *. v)) counts 0.0) in
+  { counts; norm }
+
+let cluster rng ~k ~q ?(rounds = 20) data =
+  let n = Array.length data in
+  if k <= 0 || k > n then invalid_arg "Qgram.cluster";
+  let profiles = Array.map (profile ~q) data in
+  let seeds = Rng.sample_without_replacement rng ~k ~n in
+  let centroids = Array.map (fun i -> centroid_of profiles [ i ]) seeds in
+  let labels = Array.make n (-1) in
+  let iters = ref 0 and changed = ref true in
+  while !changed && !iters < rounds do
+    incr iters;
+    changed := false;
+    Array.iteri
+      (fun i p ->
+        let best = ref 0 and best_c = ref neg_infinity in
+        Array.iteri
+          (fun c centroid ->
+            let cs = cosine p centroid in
+            if cs > !best_c then begin
+              best_c := cs;
+              best := c
+            end)
+          centroids;
+        if labels.(i) <> !best then begin
+          labels.(i) <- !best;
+          changed := true
+        end)
+      profiles;
+    if !changed then
+      for c = 0 to k - 1 do
+        let members = ref [] in
+        Array.iteri (fun i l -> if l = c then members := i :: !members) labels;
+        if !members <> [] then centroids.(c) <- centroid_of profiles !members
+      done
+  done;
+  { labels; iterations = !iters }

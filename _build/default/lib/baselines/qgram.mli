@@ -1,0 +1,36 @@
+(** q-gram profile clustering — the "q-gram" baseline of paper Table 2
+    (the paper runs it with [q = 3]).
+
+    Each sequence is reduced to the multiset of its length-[q] segments
+    (sliding window); similarity is the cosine between (weighted) q-gram
+    count vectors, and clustering is spherical k-means over the sparse
+    profiles. As the paper argues, the representation discards the
+    sequential relationships {e between} q-grams, which is precisely the
+    accuracy gap Table 2 demonstrates. *)
+
+type profile
+(** A sparse q-gram count vector, L2-normalized lazily. *)
+
+val profile : q:int -> Sequence.t -> profile
+(** [profile ~q s] is the q-gram profile of [s]; the profile is empty when
+    [|s| < q]. Raises [Invalid_argument] when [q <= 0]. Distinct q-grams
+    are keyed exactly (no lossy hashing). *)
+
+val cosine : profile -> profile -> float
+(** Cosine similarity in [\[0, 1\]]; [0.] when either profile is empty. *)
+
+val dimensions : profile -> int
+(** Number of distinct q-grams in the profile. *)
+
+type result = {
+  labels : int array;  (** Cluster index per sequence. *)
+  iterations : int;  (** k-means rounds executed. *)
+}
+
+val cluster :
+  Rng.t -> k:int -> q:int -> ?rounds:int -> Sequence.t array -> result
+(** [cluster rng ~k ~q data] runs spherical k-means: centroids start from
+    random distinct sequences' profiles; each round assigns every profile
+    to the max-cosine centroid and recomputes centroids as normalized
+    member sums; stops when assignments stabilize or after [rounds]
+    (default 20). *)

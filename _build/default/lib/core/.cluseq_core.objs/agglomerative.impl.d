@@ -1,0 +1,1 @@
+lib/core/agglomerative.ml: Alphabet Array Divergence Float List Option Pst Seq_database

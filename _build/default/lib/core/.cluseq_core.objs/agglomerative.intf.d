@@ -1,0 +1,1 @@
+lib/core/agglomerative.mli: Pst Seq_database

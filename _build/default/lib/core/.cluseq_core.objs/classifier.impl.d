@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Alphabet Array Cluseq Float Fun List Printf Pst Seq_database Similarity String

@@ -1,0 +1,1 @@
+lib/core/classifier.mli: Alphabet Cluseq Pst Seq_database Sequence

@@ -1,0 +1,1 @@
+lib/core/cluseq.ml: Alphabet Array Bitset Cluster Float Fun Hashtbl List Logs Option Order Pruning Pst Rng Seq_database Threshold

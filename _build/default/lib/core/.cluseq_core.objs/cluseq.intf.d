@@ -1,0 +1,1 @@
+lib/core/cluseq.mli: Order Pruning Pst Seq_database

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Bitset Pst Similarity

@@ -1,0 +1,1 @@
+lib/core/divergence.ml: Array Float Hashtbl List Option Pst

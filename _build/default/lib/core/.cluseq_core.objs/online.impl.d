@@ -1,0 +1,1 @@
+lib/core/online.ml: Alphabet Array Char Cluseq Float List Option Printf Pst Queue Seq_database Sequence Similarity

@@ -1,0 +1,1 @@
+lib/core/threshold.ml: Array Float Histogram Seq Similarity

@@ -1,0 +1,117 @@
+type t = {
+  models : (int * Pst.t) array; (* sorted by cluster id *)
+  log_background : float array;
+  log_t : float;
+  alphabet : Alphabet.t option;
+}
+
+type verdict = {
+  cluster : int option;
+  log_sim : float;
+  scores : (int * float) list;
+}
+
+let make ~models ~log_background ~t_linear ?alphabet () =
+  if models = [] then invalid_arg "Classifier.make: no models";
+  if t_linear < 1.0 then invalid_arg "Classifier.make: t_linear must be >= 1";
+  let models = Array.of_list (List.sort compare models) in
+  { models; log_background; log_t = log t_linear; alphabet }
+
+let of_result (result : Cluseq.result) db =
+  make
+    ~models:(Array.to_list result.models)
+    ~log_background:(Seq_database.log_background db)
+    ~t_linear:(Float.max 1.0 result.final_t)
+    ~alphabet:(Seq_database.alphabet db) ()
+
+let alphabet t = t.alphabet
+
+let classify t s =
+  let scores =
+    Array.to_list t.models
+    |> List.map (fun (id, pst) ->
+           (id, (Similarity.score pst ~log_background:t.log_background s).log_sim))
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  match scores with
+  | [] -> assert false
+  | (best, score) :: _ ->
+      { cluster = (if score >= t.log_t then Some best else None); log_sim = score; scores }
+
+let classify_all t db =
+  Array.map (classify t) (Seq_database.sequences db)
+
+let n_clusters t = Array.length t.models
+let threshold t = exp t.log_t
+
+(* --- persistence ------------------------------------------------------ *)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "cluseq-classifier 1\n";
+      Printf.fprintf oc "log_t %.17g\n" t.log_t;
+      Printf.fprintf oc "background %s\n"
+        (String.concat " "
+           (Array.to_list (Array.map (Printf.sprintf "%.17g") t.log_background)));
+      (match t.alphabet with
+      | Some a ->
+          Printf.fprintf oc "alphabet\t%s\n"
+            (String.concat "\t"
+               (List.init (Alphabet.size a) (fun i -> Alphabet.symbol a i)))
+      | None -> Printf.fprintf oc "alphabet\t-\n");
+      Printf.fprintf oc "models %d\n" (Array.length t.models);
+      Array.iter
+        (fun (id, pst) ->
+          Printf.fprintf oc "model %d\n" id;
+          Pst.to_channel oc pst)
+        t.models)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let fail msg = failwith ("Classifier.load: " ^ msg) in
+      let line () = try input_line ic with End_of_file -> fail "truncated" in
+      if line () <> "cluseq-classifier 1" then fail "bad header";
+      let log_t =
+        match String.split_on_char ' ' (line ()) with
+        | [ "log_t"; v ] -> (
+            match float_of_string_opt v with Some f -> f | None -> fail "bad log_t")
+        | _ -> fail "bad log_t line"
+      in
+      let log_background =
+        match String.split_on_char ' ' (line ()) with
+        | "background" :: rest ->
+            Array.of_list
+              (List.map
+                 (fun v ->
+                   match float_of_string_opt v with Some f -> f | None -> fail "bad background")
+                 rest)
+        | _ -> fail "bad background line"
+      in
+      let alphabet =
+        match String.split_on_char '\t' (line ()) with
+        | "alphabet" :: [ "-" ] -> None
+        | "alphabet" :: syms when syms <> [] -> Some (Alphabet.of_symbols syms)
+        | _ -> fail "bad alphabet line"
+      in
+      let n_models =
+        match String.split_on_char ' ' (line ()) with
+        | [ "models"; v ] -> (
+            match int_of_string_opt v with Some n when n > 0 -> n | _ -> fail "bad model count")
+        | _ -> fail "bad models line"
+      in
+      let models =
+        List.init n_models (fun _ ->
+            match String.split_on_char ' ' (line ()) with
+            | [ "model"; id ] -> (
+                match int_of_string_opt id with
+                | Some id -> (id, Pst.of_channel ic)
+                | None -> fail "bad model id")
+            | _ -> fail "bad model line")
+      in
+      { models = Array.of_list (List.sort compare models); log_background; log_t; alphabet })

@@ -1,0 +1,368 @@
+let log_src = Logs.Src.create "cluseq" ~doc:"CLUSEQ clustering iterations"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  k_init : int;
+  significance : int;
+  t_init : float;
+  max_depth : int;
+  max_nodes : int;
+  p_min : float;
+  pruning : Pruning.strategy;
+  adjust_threshold : bool;
+  consolidate : bool;
+  order : Order.t;
+  sample_factor : int;
+  max_iterations : int;
+  min_residual : int option;
+  seed : int;
+}
+
+let default_config =
+  {
+    k_init = 1;
+    significance = 30;
+    t_init = 1.2;
+    max_depth = 10;
+    max_nodes = 20_000;
+    p_min = 1e-3;
+    pruning = Pruning.Smallest_count_first;
+    adjust_threshold = true;
+    consolidate = true;
+    order = Order.Fixed;
+    sample_factor = 5;
+    max_iterations = 50;
+    min_residual = None;
+    seed = 42;
+  }
+
+type iteration_stats = {
+  iteration : int;
+  new_clusters : int;
+  consolidated : int;
+  clusters : int;
+  unclustered : int;
+  threshold : float;
+  membership_changes : int;
+}
+
+type result = {
+  clusters : (int * int array) array;
+  assignments : int list array;
+  best : (int * float) option array;
+  outliers : int list;
+  n_clusters : int;
+  final_t : float;
+  iterations : int;
+  history : iteration_stats list;
+  pst_stats : (int * Pst.stats) array;
+  models : (int * Pst.t) array;
+}
+
+let pst_config (cfg : config) ~alphabet_size : Pst.config =
+  {
+    Pst.alphabet_size;
+    max_depth = cfg.max_depth;
+    significance = cfg.significance;
+    max_nodes = cfg.max_nodes;
+    p_min = Float.min cfg.p_min (0.99 /. float_of_int alphabet_size);
+    pruning = cfg.pruning;
+  }
+
+(* Seed selection (paper Sec. 4.1): greedily pick, among sampled unclustered
+   sequences, the one least similar to every cluster chosen so far. *)
+let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
+  let lbg = Seq_database.log_background db in
+  let pool = Array.of_list unclustered in
+  if Array.length pool = 0 || k_n <= 0 then []
+  else begin
+    let k_n = min k_n (Array.length pool) in
+    let m = min (cfg.sample_factor * k_n) (Array.length pool) in
+    let chosen = Rng.sample_without_replacement rng ~k:m ~n:(Array.length pool) in
+    let samples = Array.map (fun i -> pool.(i)) chosen in
+    (* Cache each sample's max similarity to the existing clusters; the
+       greedy loop only adds similarities to freshly created clusters. *)
+    let max_sim =
+      Array.map
+        (fun sid ->
+          List.fold_left
+            (fun acc cl ->
+              Float.max acc (Cluster.similarity cl ~log_background:lbg (Seq_database.get db sid)).log_sim)
+            neg_infinity clusters)
+        samples
+    in
+    let taken = Array.make m false in
+    let new_clusters = ref [] in
+    let id = ref next_id in
+    for _ = 1 to k_n do
+      (* argmin over remaining samples of max-similarity-to-T *)
+      let best = ref (-1) in
+      for j = 0 to m - 1 do
+        if not taken.(j) && (!best < 0 || max_sim.(j) < max_sim.(!best)) then best := j
+      done;
+      if !best >= 0 then begin
+        let j = !best in
+        taken.(j) <- true;
+        let seed_seq = Seq_database.get db samples.(j) in
+        let cl =
+          Cluster.create ~id:!id ~capacity:(Seq_database.n_sequences db)
+            (pst_config cfg ~alphabet_size:(Alphabet.size (Seq_database.alphabet db)))
+            seed_seq
+        in
+        incr id;
+        new_clusters := cl :: !new_clusters;
+        (* Update remaining samples' max similarity with the new cluster. *)
+        for j' = 0 to m - 1 do
+          if not taken.(j') then begin
+            let r =
+              Cluster.similarity cl ~log_background:lbg (Seq_database.get db samples.(j'))
+            in
+            if r.log_sim > max_sim.(j') then max_sim.(j') <- r.log_sim
+          end
+        done
+      end
+    done;
+    List.rev !new_clusters
+  end
+
+(* Consolidation (paper Sec. 4.5): examine clusters in ascending size order
+   and dismiss any whose members are nearly all covered by other clusters.
+   The paper counts coverage by "larger" clusters only; under that literal
+   rule the largest cluster can never be dismissed, so the blended
+   mega-cluster that forms in early low-threshold iterations would survive
+   forever. We count coverage by every not-yet-dismissed cluster instead:
+   small sharp clusters can then jointly retire a large blend, while
+   identical twins cannot annihilate each other (the first to be dismissed
+   stops covering the second). See DESIGN.md. *)
+let consolidate ~min_residual clusters =
+  let arr = Array.of_list clusters in
+  let cmp a b =
+    let c = compare (Cluster.size a) (Cluster.size b) in
+    if c <> 0 then c else compare (Cluster.id a) (Cluster.id b)
+  in
+  Array.sort cmp arr;
+  let n = Array.length arr in
+  let kept = Array.make n true in
+  for i = 0 to n - 1 do
+    let cover =
+      let acc = Bitset.create (Bitset.capacity (Cluster.members arr.(i))) in
+      for j = 0 to n - 1 do
+        if j <> i && kept.(j) then Bitset.union_into ~dst:acc (Cluster.members arr.(j))
+      done;
+      acc
+    in
+    let residual = Bitset.diff_cardinal (Cluster.members arr.(i)) cover in
+    if residual < min_residual then kept.(i) <- false
+  done;
+  let retained = ref [] and dropped = ref 0 in
+  for i = n - 1 downto 0 do
+    if kept.(i) then retained := arr.(i) :: !retained else incr dropped
+  done;
+  (* Restore id order for deterministic downstream iteration. *)
+  let retained = List.sort (fun a b -> compare (Cluster.id a) (Cluster.id b)) !retained in
+  (retained, !dropped)
+
+let scaled_config ?(base = default_config) ~expected_cluster_size () =
+  if expected_cluster_size < 1 then invalid_arg "Cluseq.scaled_config";
+  let c = max 4 (min 30 (expected_cluster_size / 4)) in
+  { base with significance = c; min_residual = Some c }
+
+let hard_labels (r : result) ~n =
+  Array.init n (fun i ->
+      match r.assignments.(i) with
+      | [] -> -1
+      | joined -> (
+          match r.best.(i) with
+          | Some (c, _) when List.mem c joined -> c
+          | _ -> List.hd joined))
+
+let run ?(config = default_config) db =
+  let cfg = config in
+  if cfg.k_init < 1 then invalid_arg "Cluseq.run: k_init must be >= 1";
+  if cfg.t_init < 1.0 then invalid_arg "Cluseq.run: t_init must be >= 1";
+  let n = Seq_database.n_sequences db in
+  let lbg = Seq_database.log_background db in
+  let rng = Rng.create cfg.seed in
+  let threshold = Threshold.create ~t_init:cfg.t_init in
+  let min_residual = match cfg.min_residual with Some v -> v | None -> cfg.significance in
+  let clusters = ref [] in
+  let next_id = ref 0 in
+  let best = ref (Array.make n None) in
+  let assignments = ref (Array.make n []) in
+  let prev_memberships : (int * int list) list ref = ref [] in
+  let prev_k_n = ref 0 and prev_k_c = ref 0 in
+  let history = ref [] in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < cfg.max_iterations do
+    incr iterations;
+    let iter = !iterations in
+    (* --- 1. new cluster generation --- *)
+    let k' = List.length !clusters in
+    let unclustered =
+      List.filter (fun i -> !assignments.(i) = []) (List.init n Fun.id)
+    in
+    let k_n =
+      if iter = 1 then cfg.k_init
+      else begin
+        let f =
+          if !prev_k_n = 0 then 0.0
+          else float_of_int (max (!prev_k_n - !prev_k_c) 0) /. float_of_int !prev_k_n
+        in
+        let k_n = int_of_float (Float.round (float_of_int k' *. f)) in
+        (* f = 0 is a fixed point of the paper's growth formula; keep probing
+           with one seed per iteration while unclustered sequences remain (a
+           fruitless seed attracts < c exclusive members and is consolidated
+           away the same iteration, so termination is unaffected). *)
+        if unclustered = [] then 0 else max k_n 1
+      end
+    in
+    let k_n = min k_n (List.length unclustered) in
+    let fresh =
+      generate_new_clusters cfg db rng ~next_id:!next_id ~clusters:!clusters
+        ~unclustered ~k_n
+    in
+    next_id := !next_id + List.length fresh;
+    clusters := !clusters @ fresh;
+    (* --- 2. sequence reclustering --- *)
+    (* A segment updates a cluster's PST only when the sequence joins it
+       afresh: re-inserting stable members every iteration would inflate
+       counts without information, making member similarities (and then the
+       threshold valley) grow without bound. *)
+    let prev_members = Hashtbl.create 16 in
+    List.iter
+      (fun cl -> Hashtbl.replace prev_members (Cluster.id cl) (Bitset.copy (Cluster.members cl)))
+      !clusters;
+    List.iter Cluster.clear_members !clusters;
+    let order = Order.arrange cfg.order rng ~n ~best:!best in
+    let new_best = Array.make n None in
+    let new_assignments = Array.make n [] in
+    let samples = ref [] and n_samples = ref 0 in
+    let log_t = Threshold.log_t threshold in
+    Array.iter
+      (fun sid ->
+        let s = Seq_database.get db sid in
+        List.iter
+          (fun cl ->
+            let r = Cluster.similarity cl ~log_background:lbg s in
+            if Float.is_finite r.log_sim then begin
+              samples := r.log_sim :: !samples;
+              incr n_samples
+            end;
+            if r.log_sim >= log_t then begin
+              let was_member =
+                match Hashtbl.find_opt prev_members (Cluster.id cl) with
+                | Some ms -> Bitset.mem ms sid
+                | None -> false
+              in
+              if was_member then Cluster.add_member cl sid
+              else Cluster.absorb cl ~seq_id:sid s r;
+              new_assignments.(sid) <- Cluster.id cl :: new_assignments.(sid)
+            end;
+            (match new_best.(sid) with
+            | Some (_, b) when b >= r.log_sim -> ()
+            | _ ->
+                if Float.is_finite r.log_sim then new_best.(sid) <- Some (Cluster.id cl, r.log_sim)))
+          !clusters)
+      order;
+    Array.iteri (fun i l -> new_assignments.(i) <- List.rev l) new_assignments;
+    (* --- 3. consolidation --- *)
+    let retained, dropped =
+      if cfg.consolidate then consolidate ~min_residual !clusters else (!clusters, 0)
+    in
+    clusters := retained;
+    (* Strip memberships of dismissed clusters. *)
+    if dropped > 0 then begin
+      let alive = List.map Cluster.id retained in
+      Array.iteri
+        (fun i l -> new_assignments.(i) <- List.filter (fun c -> List.mem c alive) l)
+        new_assignments
+    end;
+    (* --- 4. threshold adjustment --- *)
+    if cfg.adjust_threshold then
+      Threshold.adjust threshold (Array.of_list !samples);
+    (* --- 5. convergence test --- *)
+    let memberships =
+      List.map (fun cl -> (Cluster.id cl, Bitset.to_list (Cluster.members cl))) !clusters
+    in
+    let changes =
+      let prev_tbl = Hashtbl.create 16 in
+      List.iter (fun (id, ms) -> Hashtbl.replace prev_tbl id ms) !prev_memberships;
+      let changed = Array.make n false in
+      List.iter
+        (fun (id, ms) ->
+          let old = Option.value ~default:[] (Hashtbl.find_opt prev_tbl id) in
+          let mark l l' =
+            List.iter (fun i -> if not (List.mem i l') then changed.(i) <- true) l
+          in
+          mark ms old;
+          mark old ms)
+        memberships;
+      (* clusters that disappeared entirely *)
+      List.iter
+        (fun (id, ms) ->
+          if not (List.mem_assoc id memberships) then
+            List.iter (fun i -> changed.(i) <- true) ms)
+        !prev_memberships;
+      Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 changed
+    in
+    (* The clustering is final only once the threshold has also settled:
+       t moves halfway toward the valley each iteration, so an unchanged
+       membership under a still-moving t is not yet a fixed point. *)
+    let threshold_settled = (not cfg.adjust_threshold) || Threshold.frozen threshold in
+    let stable =
+      iter > 1 && changes = 0
+      && List.length memberships = List.length !prev_memberships
+      && threshold_settled
+    in
+    prev_memberships := memberships;
+    prev_k_n := List.length fresh;
+    prev_k_c := dropped;
+    best := new_best;
+    assignments := new_assignments;
+    let unclustered_now =
+      Array.fold_left (fun acc l -> if l = [] then acc + 1 else acc) 0 new_assignments
+    in
+    Log.debug (fun m ->
+        m "iter %d: new=%d consolidated=%d clusters=%d unclustered=%d t=%.4g changes=%d"
+          iter (List.length fresh) dropped (List.length !clusters) unclustered_now
+          (Threshold.linear_t threshold) changes);
+    history :=
+      {
+        iteration = iter;
+        new_clusters = List.length fresh;
+        consolidated = dropped;
+        clusters = List.length !clusters;
+        unclustered = unclustered_now;
+        threshold = Threshold.linear_t threshold;
+        membership_changes = changes;
+      }
+      :: !history;
+    if stable then converged := true
+  done;
+  Log.info (fun m ->
+      m "done: %d clusters in %d iterations (final t = %.4g)" (List.length !clusters)
+        !iterations (Threshold.linear_t threshold));
+  let outliers =
+    List.filter (fun i -> !assignments.(i) = []) (List.init n Fun.id)
+  in
+  {
+    clusters =
+      Array.of_list
+        (List.map
+           (fun cl -> (Cluster.id cl, Array.of_list (Bitset.to_list (Cluster.members cl))))
+           !clusters);
+    assignments = !assignments;
+    best = !best;
+    outliers;
+    n_clusters = List.length !clusters;
+    final_t = Threshold.linear_t threshold;
+    iterations = !iterations;
+    history = List.rev !history;
+    pst_stats =
+      Array.of_list
+        (List.map (fun cl -> (Cluster.id cl, Pst.stats (Cluster.pst cl))) !clusters);
+    models =
+      Array.of_list (List.map (fun cl -> (Cluster.id cl, Cluster.pst cl)) !clusters);
+  }

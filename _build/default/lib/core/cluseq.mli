@@ -1,0 +1,107 @@
+(** The CLUSEQ clustering algorithm (paper Sec. 4).
+
+    Iteration progress is traced on the ["cluseq"] {!Logs} source (info:
+    run summary; debug: per-iteration stats) — enable a reporter to see
+    it.
+
+    Starting from a sequence database, CLUSEQ iterates four steps until the
+    clustering stabilizes:
+
+    + {b New cluster generation} (4.1): seed [k] new single-sequence
+      clusters on the first iteration; afterwards seed {m k' \cdot f} where
+      the growth factor {m f} rises toward 1 when consolidation removes few
+      clusters and falls toward 0 when it removes many. Seeds are chosen
+      greedily from a random sample of [sample_factor × k_n] unclustered
+      sequences, preferring sequences least similar to every existing
+      cluster.
+    + {b Sequence reclustering} (4.2): every sequence joins every cluster
+      whose similarity exceeds the threshold [t] (clusters may overlap);
+      each join inserts the best-matching segment into the cluster's PST.
+    + {b Cluster consolidation} (4.5): ascending by size, a cluster whose
+      members are almost all covered by larger clusters (fewer than
+      [min_residual] uncovered) is dismissed.
+    + {b Threshold adjustment} (4.6, optional): move [t] toward the valley
+      of the similarity histogram.
+
+    The process stops when an iteration leaves both the set of clusters and
+    every membership unchanged, or after [max_iterations]. *)
+
+type config = {
+  k_init : int;  (** Initial number of clusters [k] (paper default 1). *)
+  significance : int;  (** Significance threshold [c] (paper default 30). *)
+  t_init : float;  (** Initial linear similarity threshold (≥ 1). *)
+  max_depth : int;  (** PST max context length L. *)
+  max_nodes : int;  (** PST node budget per cluster. *)
+  p_min : float;  (** Probability smoothing floor (Sec. 5.2). *)
+  pruning : Pruning.strategy;  (** PST pruning policy (Sec. 5.1). *)
+  adjust_threshold : bool;  (** Enable the Sec. 4.6 auto-adjustment. *)
+  consolidate : bool;  (** Enable the Sec. 4.5 consolidation. *)
+  order : Order.t;  (** Examination order (Sec. 6.3). *)
+  sample_factor : int;  (** m = sample_factor × k_n seeds sample (paper 5). *)
+  max_iterations : int;  (** Safety cap on iterations. *)
+  min_residual : int option;
+      (** Consolidation keep-threshold; [None] uses [significance],
+          mirroring the paper's "< c". *)
+  seed : int;  (** PRNG seed: runs are fully deterministic. *)
+}
+
+val default_config : config
+(** Paper-faithful defaults: [k_init = 1], [significance = 30],
+    [t_init = 1.2], [max_depth = 10], [max_nodes = 20_000],
+    [p_min = 1e-3], smallest-count pruning, adjustment and consolidation
+    on, fixed order, [sample_factor = 5], [max_iterations = 50],
+    [seed = 42]. *)
+
+type iteration_stats = {
+  iteration : int;  (** 1-based iteration number. *)
+  new_clusters : int;  (** Clusters seeded this iteration ({m k_n}). *)
+  consolidated : int;  (** Clusters dismissed this iteration ({m k_c}). *)
+  clusters : int;  (** Clusters alive at iteration end. *)
+  unclustered : int;  (** Sequences in no cluster. *)
+  threshold : float;  (** Linear [t] at iteration end. *)
+  membership_changes : int;  (** Sequences whose membership set changed. *)
+}
+
+type result = {
+  clusters : (int * int array) array;
+      (** (cluster id, sorted member sequence ids) for each final cluster. *)
+  assignments : int list array;
+      (** Per sequence: ids of every cluster it belongs to (overlap allowed). *)
+  best : (int * float) option array;
+      (** Per sequence: best final cluster and its log-similarity — also set
+          for sequences below threshold (useful for diagnostics); [None]
+          only if no cluster produced a finite score. *)
+  outliers : int list;  (** Sequences belonging to no cluster. *)
+  n_clusters : int;  (** Final number of clusters. *)
+  final_t : float;  (** Final linear threshold. *)
+  iterations : int;  (** Iterations executed. *)
+  history : iteration_stats list;  (** Per-iteration stats, oldest first. *)
+  pst_stats : (int * Pst.stats) array;
+      (** Structural statistics of each final cluster's PST (size, depth,
+          approximate bytes) — reported by the Figure 4 bench. *)
+  models : (int * Pst.t) array;
+      (** Each final cluster's probabilistic suffix tree, for classifying
+          new sequences after the run (see {!Classifier}). The trees are
+          live references — treat as read-only. *)
+}
+
+val scaled_config : ?base:config -> expected_cluster_size:int -> unit -> config
+(** [scaled_config ~expected_cluster_size ()] adapts the statistical
+    thresholds of [base] (default {!default_config}) to the data scale:
+    the significance count [c] becomes
+    [max 4 (min 30 (expected_cluster_size / 4))] and the consolidation
+    residual [c] likewise — the paper's [c = 30] presumes hundreds of
+    members per cluster, and keeping it there on small databases makes
+    every context insignificant and every new cluster die in
+    consolidation. [expected_cluster_size] is a rough guess of N/k; it
+    only needs to be the right order of magnitude. *)
+
+val run : ?config:config -> Seq_database.t -> result
+(** [run ?config db] executes CLUSEQ on [db]. Deterministic for a fixed
+    [config.seed]. *)
+
+val hard_labels : result -> n:int -> int array
+(** [hard_labels r ~n] flattens the overlapping clustering into one label
+    per sequence: the sequence's best cluster id among the clusters it
+    actually joined, or [-1] for outliers. For evaluation against ground
+    truth. *)

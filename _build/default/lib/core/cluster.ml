@@ -1,0 +1,20 @@
+type t = { id : int; pst : Pst.t; members : Bitset.t }
+
+let create ~id ~capacity cfg seed =
+  let pst = Pst.create cfg in
+  Pst.insert_sequence pst seed;
+  { id; pst; members = Bitset.create capacity }
+
+let id t = t.id
+let pst t = t.pst
+let members t = t.members
+let size t = Bitset.cardinal t.members
+let mem t i = Bitset.mem t.members i
+let add_member t i = Bitset.add t.members i
+let clear_members t = Bitset.clear t.members
+let similarity t ~log_background s = Similarity.score t.pst ~log_background s
+
+let absorb t ~seq_id s (r : Similarity.result) =
+  add_member t seq_id;
+  if r.seg_lo >= 0 && r.seg_hi >= r.seg_lo then
+    Pst.insert_segment t.pst s ~lo:r.seg_lo ~hi:r.seg_hi

@@ -1,0 +1,41 @@
+(** A sequence cluster: a probabilistic suffix tree modeling the cluster's
+    CPD plus a member bitset over sequence ids (paper Defn. 2.1). *)
+
+type t
+(** A mutable cluster. *)
+
+val create : id:int -> capacity:int -> Pst.config -> Sequence.t -> t
+(** [create ~id ~capacity cfg seed] is a fresh cluster initialized from one
+    seed sequence (paper Sec. 4.1): its PST is built from the seed and the
+    seed is not yet recorded as a member (membership is decided by the
+    reclustering pass). [capacity] is the database size, fixing the member
+    bitset width. *)
+
+val id : t -> int
+(** Stable identifier assigned at creation. *)
+
+val pst : t -> Pst.t
+(** The cluster's probabilistic suffix tree. *)
+
+val members : t -> Bitset.t
+(** The member set (shared, mutable through {!add_member} / {!clear}). *)
+
+val size : t -> int
+(** Number of members. *)
+
+val mem : t -> int -> bool
+(** Membership test by sequence id. *)
+
+val add_member : t -> int -> unit
+(** Record a sequence id as a member. *)
+
+val clear_members : t -> unit
+(** Empty the member set (start of a reclustering pass); the PST is kept. *)
+
+val similarity : t -> log_background:float array -> Sequence.t -> Similarity.result
+(** {!Similarity.score} against this cluster's PST. *)
+
+val absorb : t -> seq_id:int -> Sequence.t -> Similarity.result -> unit
+(** [absorb t ~seq_id s r] adds [seq_id] as a member and inserts the
+    maximizing segment [r.seg_lo .. r.seg_hi] of [s] into the PST
+    (paper Sec. 4.2/4.4: only the best segment updates the tree). *)

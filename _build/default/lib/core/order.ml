@@ -1,0 +1,25 @@
+type t = Fixed | Random | Cluster_based
+
+let to_string = function
+  | Fixed -> "fixed"
+  | Random -> "random"
+  | Cluster_based -> "cluster-based"
+
+let of_string = function
+  | "fixed" -> Some Fixed
+  | "random" -> Some Random
+  | "cluster-based" -> Some Cluster_based
+  | _ -> None
+
+let arrange order rng ~n ~best =
+  let ids = Array.init n Fun.id in
+  (match order with
+  | Fixed -> ()
+  | Random -> Rng.shuffle rng ids
+  | Cluster_based ->
+      let key i = match best.(i) with Some (c, _) -> c | None -> max_int in
+      (* Stable sort keeps id order within each cluster group. *)
+      let lst = Array.to_list ids in
+      let sorted = List.stable_sort (fun a b -> compare (key a) (key b)) lst in
+      List.iteri (fun pos i -> ids.(pos) <- i) sorted);
+  ids

@@ -1,0 +1,23 @@
+(** Sequence examination orders for the reclustering pass (paper Sec. 6.3).
+
+    The paper compares three orders and finds the cluster-based one harmful
+    (it traps the algorithm in local optima); all three are implemented so
+    the [order] bench can reproduce that study. *)
+
+type t =
+  | Fixed  (** Sequences in id order — identical every iteration. *)
+  | Random  (** A fresh random permutation each iteration. *)
+  | Cluster_based
+      (** All sequences whose best cluster (from the previous iteration) was
+          the same are examined consecutively; unclustered sequences last. *)
+
+val to_string : t -> string
+(** Stable lowercase name. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}. *)
+
+val arrange : t -> Rng.t -> n:int -> best:(int * float) option array -> int array
+(** [arrange order rng ~n ~best] is the permutation of [0 .. n-1] to use
+    this iteration. [best.(i)] is sequence [i]'s best cluster from the
+    previous iteration (used only by [Cluster_based]). *)

@@ -1,0 +1,59 @@
+type result = { log_sim : float; seg_lo : int; seg_hi : int }
+
+let empty_result = { log_sim = neg_infinity; seg_lo = -1; seg_hi = -1 }
+
+let xs pst ~log_background s =
+  Array.init (Array.length s) (fun i ->
+      Pst.log_prob pst s ~lo:0 ~pos:i -. log_background.(s.(i)))
+
+let score pst ~log_background s =
+  let l = Array.length s in
+  if l = 0 then empty_result
+  else begin
+    let y = ref neg_infinity in
+    let z = ref neg_infinity in
+    let start = ref 0 in
+    let best_lo = ref 0 and best_hi = ref 0 in
+    for i = 0 to l - 1 do
+      let x = Pst.log_prob pst s ~lo:0 ~pos:i -. log_background.(s.(i)) in
+      (* Y_i = max (Y_{i-1} + X_i, X_i): extend the running segment only
+         when its accumulated log-similarity is non-negative. *)
+      if !y >= 0.0 then y := !y +. x
+      else begin
+        y := x;
+        start := i
+      end;
+      if !y > !z then begin
+        z := !y;
+        best_lo := !start;
+        best_hi := i
+      end
+    done;
+    { log_sim = !z; seg_lo = !best_lo; seg_hi = !best_hi }
+  end
+
+let score_brute pst ~log_background s =
+  let l = Array.length s in
+  if l = 0 then empty_result
+  else begin
+    let x = xs pst ~log_background s in
+    let best = ref neg_infinity and blo = ref 0 and bhi = ref 0 in
+    for j = 0 to l - 1 do
+      let acc = ref 0.0 in
+      for i = j to l - 1 do
+        acc := !acc +. x.(i);
+        if !acc > !best then begin
+          best := !acc;
+          blo := j;
+          bhi := i
+        end
+      done
+    done;
+    { log_sim = !best; seg_lo = !blo; seg_hi = !bhi }
+  end
+
+let log_of_linear t =
+  if t <= 0.0 then invalid_arg "Similarity.log_of_linear: t must be positive";
+  log t
+
+let linear_of_log lt = exp (Float.min 500.0 lt)

@@ -1,0 +1,39 @@
+(** The CLUSEQ similarity measure (paper Sec. 2 and 4.3).
+
+    The similarity of a sequence {m σ} to a cluster {m S} is
+    {m SIM_S(σ) = \max_{j \le i} sim_S(s_j \ldots s_i)} where
+    {m sim_S} is the ratio of the probability of predicting the segment
+    under the cluster's CPD to the probability of generating it by a
+    memoryless random process (Eq. 1).
+
+    All computation is carried out in log space: with
+    {m X_i = \log P_S(s_i \mid s_1 \ldots s_{i-1}) - \log p(s_i)} the
+    paper's dynamic program becomes
+    {m Y_i = \max(Y_{i-1} + X_i,\; X_i)}, {m Z_i = \max(Z_{i-1}, Y_i)}
+    — a single left-to-right scan (Kadane's maximum-subarray scheme). The
+    conditional probabilities are retrieved from the cluster's PST via its
+    prediction nodes, exactly the procedure of paper Sec. 3. *)
+
+type result = {
+  log_sim : float;  (** {m \log SIM_S(σ)}; [neg_infinity] for an empty σ. *)
+  seg_lo : int;  (** Start of the maximizing segment (inclusive). *)
+  seg_hi : int;  (** End of the maximizing segment (inclusive). *)
+}
+
+val score : Pst.t -> log_background:float array -> Sequence.t -> result
+(** [score pst ~log_background s] evaluates {m SIM} of [s] against the
+    cluster modeled by [pst]. [log_background] is the database-wide
+    {m \log p(s)} vector ({!Seq_database.log_background}). O(l · L) where
+    L is the PST's max context depth. *)
+
+val score_brute : Pst.t -> log_background:float array -> Sequence.t -> result
+(** Reference implementation: explicitly maximizes over all O(l²) segments.
+    Exposed for property tests; do not use on long sequences. *)
+
+val log_of_linear : float -> float
+(** [log_of_linear t] converts a user-facing linear similarity threshold
+    (e.g. the paper's [t = 1.0005]) into log space. Raises
+    [Invalid_argument] if [t <= 0]. *)
+
+val linear_of_log : float -> float
+(** Inverse of {!log_of_linear} (clamped to avoid overflow). *)

@@ -1,0 +1,26 @@
+type t = { mutable log_t : float; mutable frozen : bool }
+
+let create ~t_init =
+  if t_init < 1.0 then invalid_arg "Threshold.create: t_init must be >= 1";
+  { log_t = log t_init; frozen = false }
+
+let log_t t = t.log_t
+let linear_t t = Similarity.linear_of_log t.log_t
+let frozen t = t.frozen
+
+let freeze_epsilon = 0.01
+
+let adjust ?(n_buckets = 50) t log_sims =
+  if not t.frozen then begin
+    let finite = Array.of_seq (Seq.filter Float.is_finite (Array.to_seq log_sims)) in
+    if Array.length finite >= 10 then begin
+      let hist = Histogram.of_samples ~n_buckets finite in
+      match Histogram.valley_log hist with
+      | None -> ()
+      | Some valley ->
+          (* Move conservatively toward the valley, clamped at t = 1. *)
+          let valley = Float.max 0.0 valley in
+          if Float.abs (t.log_t -. valley) < freeze_epsilon then t.frozen <- true
+          else t.log_t <- Float.max 0.0 ((t.log_t +. valley) /. 2.0)
+    end
+  end

@@ -1,0 +1,1 @@
+lib/eval/matching.ml: Array Hashtbl List Option

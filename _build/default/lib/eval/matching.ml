@@ -1,0 +1,44 @@
+let majority_map ~truth ~pred =
+  if Array.length truth <> Array.length pred then invalid_arg "Matching.majority_map";
+  let votes : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i c ->
+      if c >= 0 then begin
+        let tbl =
+          match Hashtbl.find_opt votes c with
+          | Some t -> t
+          | None ->
+              let t = Hashtbl.create 8 in
+              Hashtbl.add votes c t;
+              t
+        in
+        let cls = truth.(i) in
+        Hashtbl.replace tbl cls (1 + Option.value ~default:0 (Hashtbl.find_opt tbl cls))
+      end)
+    pred;
+  Hashtbl.fold
+    (fun cluster tbl acc ->
+      let best_cls = ref (-1) and best_n = ref 0 in
+      Hashtbl.iter
+        (fun cls n ->
+          (* Prefer real classes over the outlier label; break ties on the
+             smaller class id for determinism. *)
+          let better =
+            if cls = -1 then false
+            else n > !best_n || (n = !best_n && (!best_cls = -1 || cls < !best_cls))
+          in
+          if better then begin
+            best_cls := cls;
+            best_n := n
+          end)
+        tbl;
+      (cluster, !best_cls) :: acc)
+    votes []
+  |> List.sort compare
+
+let class_of_cluster map c =
+  match List.assoc_opt c map with Some cls -> cls | None -> -1
+
+let relabel ~truth ~pred =
+  let map = majority_map ~truth ~pred in
+  Array.map (fun c -> if c < 0 then -1 else class_of_cluster map c) pred

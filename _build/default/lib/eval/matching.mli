@@ -1,0 +1,21 @@
+(** Mapping discovered clusters onto ground-truth classes.
+
+    CLUSEQ emits anonymous cluster ids; the paper's quality numbers
+    (precision/recall per family, "percentage of correctly labeled
+    proteins") presuppose a cluster→class correspondence. Following
+    standard practice we label each cluster by the majority ground-truth
+    class among its members (ground-truth outliers, label [-1], never win
+    a majority). *)
+
+val majority_map : truth:int array -> pred:int array -> (int * int) list
+(** [majority_map ~truth ~pred] is an assoc list from each cluster id
+    appearing in [pred] (≥ 0) to its majority truth class. A cluster whose
+    members are all ground-truth outliers maps to [-1]. Arrays must have
+    equal length. *)
+
+val relabel : truth:int array -> pred:int array -> int array
+(** [relabel ~truth ~pred] replaces every cluster id in [pred] by its
+    majority class; [-1] (unclustered) is preserved. *)
+
+val class_of_cluster : (int * int) list -> int -> int
+(** [class_of_cluster map c] looks up [c], returning [-1] when absent. *)

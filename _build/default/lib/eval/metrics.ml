@@ -1,0 +1,158 @@
+type pr = { tp : int; fp : int; fn : int; precision : float; recall : float }
+
+let check truth pred =
+  if Array.length truth <> Array.length pred then invalid_arg "Metrics: length mismatch"
+
+let classes_of truth =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun c -> if c >= 0 then Hashtbl.replace seen c ()) truth;
+  List.sort compare (Hashtbl.fold (fun c () acc -> c :: acc) seen [])
+
+let ratio num den ~empty = if den = 0 then empty else float_of_int num /. float_of_int den
+
+let pr_of ~tp ~fp ~fn =
+  { tp; fp; fn; precision = ratio tp (tp + fp) ~empty:1.0; recall = ratio tp (tp + fn) ~empty:1.0 }
+
+let class_pr ~truth ~pred_class cls =
+  let tp = ref 0 and fp = ref 0 and fn = ref 0 in
+  Array.iteri
+    (fun i t ->
+      let p = pred_class.(i) in
+      if t = cls && p = cls then incr tp
+      else if t <> cls && p = cls then incr fp
+      else if t = cls && p <> cls then incr fn)
+    truth;
+  pr_of ~tp:!tp ~fp:!fp ~fn:!fn
+
+let per_class ~truth ~pred_class =
+  check truth pred_class;
+  List.map (fun cls -> (cls, class_pr ~truth ~pred_class cls)) (classes_of truth)
+
+let accuracy ~truth ~pred_class =
+  check truth pred_class;
+  let correct = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun i t ->
+      if t >= 0 then begin
+        incr total;
+        if pred_class.(i) = t then incr correct
+      end)
+    truth;
+  ratio !correct !total ~empty:1.0
+
+let macro_mean f prs =
+  match prs with
+  | [] -> nan
+  | _ -> List.fold_left (fun acc (_, pr) -> acc +. f pr) 0.0 prs /. float_of_int (List.length prs)
+
+let macro_precision prs = macro_mean (fun pr -> pr.precision) prs
+let macro_recall prs = macro_mean (fun pr -> pr.recall) prs
+
+let outlier_detection ~truth ~pred_class =
+  check truth pred_class;
+  let tp = ref 0 and fp = ref 0 and fn = ref 0 in
+  Array.iteri
+    (fun i t ->
+      let p = pred_class.(i) in
+      if t = -1 && p = -1 then incr tp
+      else if t <> -1 && p = -1 then incr fp
+      else if t = -1 && p <> -1 then incr fn)
+    truth;
+  pr_of ~tp:!tp ~fp:!fp ~fn:!fn
+
+let adjusted_rand_index ~truth ~pred =
+  check truth pred;
+  let n = Array.length truth in
+  if n = 0 then nan
+  else begin
+    let cell = Hashtbl.create 64 and row = Hashtbl.create 16 and col = Hashtbl.create 16 in
+    let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+    Array.iteri
+      (fun i t ->
+        bump cell (t, pred.(i));
+        bump row t;
+        bump col pred.(i))
+      truth;
+    let choose2 k = float_of_int (k * (k - 1)) /. 2.0 in
+    let sum_cells = Hashtbl.fold (fun _ v acc -> acc +. choose2 v) cell 0.0 in
+    let sum_rows = Hashtbl.fold (fun _ v acc -> acc +. choose2 v) row 0.0 in
+    let sum_cols = Hashtbl.fold (fun _ v acc -> acc +. choose2 v) col 0.0 in
+    let total = choose2 n in
+    let expected = sum_rows *. sum_cols /. total in
+    let max_index = (sum_rows +. sum_cols) /. 2.0 in
+    if Float.abs (max_index -. expected) < 1e-12 then 1.0
+    else (sum_cells -. expected) /. (max_index -. expected)
+  end
+
+let purity ~truth ~pred =
+  check truth pred;
+  let n = Array.length truth in
+  if n = 0 then nan
+  else begin
+    let votes : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+    Array.iteri
+      (fun i c ->
+        let tbl =
+          match Hashtbl.find_opt votes c with
+          | Some t -> t
+          | None ->
+              let t = Hashtbl.create 8 in
+              Hashtbl.add votes c t;
+              t
+        in
+        let cls = truth.(i) in
+        Hashtbl.replace tbl cls (1 + Option.value ~default:0 (Hashtbl.find_opt tbl cls)))
+      pred;
+    let majority_sum =
+      Hashtbl.fold
+        (fun _ tbl acc -> acc + Hashtbl.fold (fun _ v best -> max v best) tbl 0)
+        votes 0
+    in
+    float_of_int majority_sum /. float_of_int n
+  end
+
+let normalized_mutual_information ~truth ~pred =
+  check truth pred;
+  let n = Array.length truth in
+  if n = 0 then nan
+  else begin
+    let nf = float_of_int n in
+    let joint = Hashtbl.create 64 and row = Hashtbl.create 16 and col = Hashtbl.create 16 in
+    let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+    Array.iteri
+      (fun i t ->
+        bump joint (t, pred.(i));
+        bump row t;
+        bump col pred.(i))
+      truth;
+    let entropy tbl =
+      Hashtbl.fold
+        (fun _ v acc ->
+          let p = float_of_int v /. nf in
+          acc -. (p *. log p))
+        tbl 0.0
+    in
+    let ht = entropy row and hp = entropy col in
+    let mi =
+      Hashtbl.fold
+        (fun (t, p) v acc ->
+          let pj = float_of_int v /. nf in
+          let pt = float_of_int (Hashtbl.find row t) /. nf in
+          let pp = float_of_int (Hashtbl.find col p) /. nf in
+          acc +. (pj *. log (pj /. (pt *. pp))))
+        joint 0.0
+    in
+    if ht <= 1e-12 && hp <= 1e-12 then 1.0
+    else if ht <= 1e-12 || hp <= 1e-12 then 0.0
+    else mi /. sqrt (ht *. hp)
+  end
+
+let confusion ~truth ~pred_class =
+  check truth pred_class;
+  let cell = Hashtbl.create 64 in
+  Array.iteri
+    (fun i t ->
+      let key = (t, pred_class.(i)) in
+      Hashtbl.replace cell key (1 + Option.value ~default:0 (Hashtbl.find_opt cell key)))
+    truth;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) cell [])

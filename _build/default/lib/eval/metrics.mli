@@ -1,0 +1,57 @@
+(** Clustering quality metrics.
+
+    The paper reports per-family precision and recall (Table 3/4) —
+    with [F] the true member set of a family and [F'] the set assigned to
+    it, precision is {m |F ∩ F'|/|F'|} and recall {m |F ∩ F'|/|F|} — and
+    a global "percentage of correctly labeled" accuracy (Table 2). The
+    adjusted Rand index is provided as an additional, matching-free
+    validity score used by the test suite. *)
+
+type pr = {
+  tp : int;  (** |F ∩ F'|. *)
+  fp : int;  (** |F' \ F|. *)
+  fn : int;  (** |F \ F'|. *)
+  precision : float;  (** tp / (tp + fp); [1.] when F' is empty. *)
+  recall : float;  (** tp / (tp + fn); [1.] when F is empty. *)
+}
+
+val per_class : truth:int array -> pred_class:int array -> (int * pr) list
+(** [per_class ~truth ~pred_class] computes {!pr} for every ground-truth
+    class (label ≥ 0), given predictions already expressed in class space
+    (e.g. from {!Matching.relabel}). Sorted by class id. *)
+
+val accuracy : truth:int array -> pred_class:int array -> float
+(** Fraction of non-outlier ground-truth sequences whose predicted class
+    equals their true class (an unclustered prediction counts as wrong) —
+    the paper's "percentage of correctly labeled" measure. *)
+
+val macro_precision : (int * pr) list -> float
+(** Unweighted mean precision over classes. *)
+
+val macro_recall : (int * pr) list -> float
+(** Unweighted mean recall over classes. *)
+
+val outlier_detection : truth:int array -> pred_class:int array -> pr
+(** Precision/recall of the outlier boundary itself: the "class" of
+    ground-truth outliers ([-1]) against predicted unclustered ([-1]). *)
+
+val adjusted_rand_index : truth:int array -> pred:int array -> float
+(** The Hubert–Arabie adjusted Rand index between two labelings (cluster
+    ids need not align with classes; [-1] labels form their own group).
+    [1.] for identical partitions, ≈ [0.] for independent ones. *)
+
+val purity : truth:int array -> pred:int array -> float
+(** [purity ~truth ~pred] is the fraction of sequences lying in their
+    cluster's majority ground-truth class (computed over all sequences;
+    [-1] labels participate as their own class). In [\[0, 1\]]; [nan] on
+    empty input. *)
+
+val normalized_mutual_information : truth:int array -> pred:int array -> float
+(** [normalized_mutual_information ~truth ~pred] is
+    {m I(T;P) / \sqrt{H(T) H(P)}} — a matching-free agreement score in
+    [\[0, 1\]]. By convention [1.] when both partitions carry zero entropy
+    and [0.] when exactly one does. [nan] on empty input. *)
+
+val confusion : truth:int array -> pred_class:int array -> ((int * int) * int) list
+(** Sparse confusion matrix: [((true_class, predicted_class), count)]
+    sorted by key; includes [-1] rows/columns. *)

@@ -1,0 +1,1 @@
+lib/pst/pst.ml: Array Float Format List Printf Pruning Smallmap String

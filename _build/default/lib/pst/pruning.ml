@@ -1,0 +1,17 @@
+type strategy =
+  | Smallest_count_first
+  | Longest_label_first
+  | Expected_vector_first
+
+let to_string = function
+  | Smallest_count_first -> "smallest-count"
+  | Longest_label_first -> "longest-label"
+  | Expected_vector_first -> "expected-vector"
+
+let of_string = function
+  | "smallest-count" -> Some Smallest_count_first
+  | "longest-label" -> Some Longest_label_first
+  | "expected-vector" -> Some Expected_vector_first
+  | _ -> None
+
+let all = [ Smallest_count_first; Longest_label_first; Expected_vector_first ]

@@ -1,0 +1,28 @@
+(** Node-pruning strategies for memory-bounded probabilistic suffix trees
+    (paper Sec. 5.1).
+
+    When a PST outgrows its memory budget, nodes must be dropped. The paper
+    proposes three strategies; all are implemented and compared by the
+    [ablation] bench:
+
+    - {b Smallest-count-first}: nodes with small occurrence counts are the
+      least likely to ever become significant, so losing them costs little.
+    - {b Longest-label-first}: by the short-memory property, deep contexts
+      contribute least to prediction accuracy.
+    - {b Expected-vector-first}: once only significant nodes remain, drop
+      nodes whose conditional distribution is closest to their parent's —
+      the parent is then an almost-lossless substitute. *)
+
+type strategy =
+  | Smallest_count_first
+  | Longest_label_first
+  | Expected_vector_first
+
+val to_string : strategy -> string
+(** Stable lowercase name, e.g. ["smallest-count"]. *)
+
+val of_string : string -> strategy option
+(** Inverse of {!to_string}. *)
+
+val all : strategy list
+(** Every strategy, for sweeps. *)

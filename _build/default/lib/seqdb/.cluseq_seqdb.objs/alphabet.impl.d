@@ -1,0 +1,1 @@
+lib/seqdb/alphabet.ml: Array Buffer Char Format Hashtbl List Printf String

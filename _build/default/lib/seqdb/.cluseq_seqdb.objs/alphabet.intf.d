@@ -1,0 +1,1 @@
+lib/seqdb/alphabet.mli: Format

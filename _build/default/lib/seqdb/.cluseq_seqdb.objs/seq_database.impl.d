@@ -1,0 +1,1 @@
+lib/seqdb/seq_database.ml: Alphabet Array Format List Printf Sequence

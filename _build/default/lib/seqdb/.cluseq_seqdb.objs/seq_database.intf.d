@@ -1,0 +1,1 @@
+lib/seqdb/seq_database.mli: Alphabet Format Sequence

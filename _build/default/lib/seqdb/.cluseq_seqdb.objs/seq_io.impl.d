@@ -1,0 +1,1 @@
+lib/seqdb/seq_io.ml: Alphabet Array Buffer Char Fun Hashtbl List Printf Seq_database String

@@ -1,0 +1,1 @@
+lib/seqdb/seq_io.mli: Alphabet Seq_database Sequence

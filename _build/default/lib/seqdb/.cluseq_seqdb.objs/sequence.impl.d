@@ -1,0 +1,1 @@
+lib/seqdb/sequence.ml: Alphabet Array Format String

@@ -1,0 +1,1 @@
+lib/seqdb/sequence.mli: Alphabet Format

@@ -1,0 +1,74 @@
+type t = {
+  symbols : string array;
+  index : (string, int) Hashtbl.t;
+  (* Fast path for single-character symbols: char_index.(Char.code ch) is
+     the code of the symbol [String.make 1 ch], or -1. *)
+  char_index : int array;
+}
+
+let of_symbols names =
+  if names = [] then invalid_arg "Alphabet.of_symbols: empty";
+  let symbols = Array.of_list names in
+  let index = Hashtbl.create (Array.length symbols) in
+  let char_index = Array.make 256 (-1) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem index name then
+        invalid_arg (Printf.sprintf "Alphabet.of_symbols: duplicate symbol %S" name);
+      Hashtbl.add index name i;
+      if String.length name = 1 then char_index.(Char.code name.[0]) <- i)
+    symbols;
+  { symbols; index; char_index }
+
+let of_char_range lo hi =
+  if hi < lo then invalid_arg "Alphabet.of_char_range";
+  of_symbols
+    (List.init (Char.code hi - Char.code lo + 1) (fun i ->
+         String.make 1 (Char.chr (Char.code lo + i))))
+
+let of_string s =
+  let seen = Array.make 256 false in
+  let acc = ref [] in
+  String.iter
+    (fun ch ->
+      if not seen.(Char.code ch) then begin
+        seen.(Char.code ch) <- true;
+        acc := String.make 1 ch :: !acc
+      end)
+    s;
+  of_symbols (List.rev !acc)
+
+let size t = Array.length t.symbols
+let code t name = Hashtbl.find_opt t.index name
+let code_exn t name = Hashtbl.find t.index name
+
+let code_of_char t ch =
+  let c = t.char_index.(Char.code ch) in
+  if c < 0 then None else Some c
+
+let symbol t i =
+  if i < 0 || i >= Array.length t.symbols then invalid_arg "Alphabet.symbol";
+  t.symbols.(i)
+
+let encode_string t s =
+  Array.init (String.length s) (fun i ->
+      let ch = s.[i] in
+      let c = t.char_index.(Char.code ch) in
+      if c < 0 then failwith (Printf.sprintf "Alphabet.encode_string: %C not in alphabet" ch)
+      else c)
+
+let decode t codes =
+  let buf = Buffer.create (Array.length codes) in
+  Array.iter (fun c -> Buffer.add_string buf (symbol t c)) codes;
+  Buffer.contents buf
+
+let dna = of_string "acgt"
+let amino_acids = of_string "acdefghiklmnpqrstvwy"
+let lowercase = of_char_range 'a' 'z'
+
+let pp fmt t =
+  let preview =
+    if size t <= 30 then String.concat "" (Array.to_list t.symbols)
+    else String.concat "" (Array.to_list (Array.sub t.symbols 0 30)) ^ "..."
+  in
+  Format.fprintf fmt "alphabet(|Σ|=%d: %s)" (size t) preview

@@ -1,0 +1,57 @@
+(** Symbol alphabets.
+
+    CLUSEQ operates over an arbitrary finite symbol set Σ (paper Sec. 2).
+    Internally every symbol is a dense integer code in [\[0, size)]; this
+    module owns the bijection between user-facing symbol names (single
+    characters or arbitrary strings) and codes. *)
+
+type t
+(** An immutable alphabet. *)
+
+val of_symbols : string list -> t
+(** [of_symbols names] assigns codes [0, 1, ...] in list order.
+    Raises [Invalid_argument] on duplicates or an empty list. *)
+
+val of_char_range : char -> char -> t
+(** [of_char_range lo hi] is the alphabet of the single-character symbols
+    [lo .. hi] inclusive. *)
+
+val of_string : string -> t
+(** [of_string s] is the alphabet of the distinct characters of [s], in
+    first-occurrence order. *)
+
+val size : t -> int
+(** Number of symbols |Σ|. *)
+
+val code : t -> string -> int option
+(** [code t name] is the code of symbol [name], if present. *)
+
+val code_exn : t -> string -> int
+(** Like {!code} but raises [Not_found]. *)
+
+val code_of_char : t -> char -> int option
+(** [code_of_char t ch] looks up the single-character symbol [ch]. *)
+
+val symbol : t -> int -> string
+(** [symbol t i] is the name of code [i].
+    Raises [Invalid_argument] if out of range. *)
+
+val encode_string : t -> string -> int array
+(** [encode_string t s] encodes each character of [s] as a symbol code.
+    Raises [Failure] on a character outside the alphabet (the offending
+    character is named in the message). *)
+
+val decode : t -> int array -> string
+(** [decode t codes] concatenates the symbol names of [codes]. *)
+
+val dna : t
+(** The 4-letter DNA alphabet [a c g t]. *)
+
+val amino_acids : t
+(** The 20-letter amino-acid alphabet (one-letter codes, lowercase). *)
+
+val lowercase : t
+(** The 26-letter alphabet [a .. z]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints size and a symbol preview. *)

@@ -1,0 +1,76 @@
+type t = {
+  alphabet : Alphabet.t;
+  sequences : Sequence.t array;
+  mutable background_cache : float array option;
+  mutable log_background_cache : float array option;
+}
+
+
+let create alphabet sequences =
+  let n = Alphabet.size alphabet in
+  Array.iteri
+    (fun i s ->
+      Array.iter
+        (fun c ->
+          if c < 0 || c >= n then
+            invalid_arg
+              (Printf.sprintf "Seq_database.create: sequence %d has code %d outside alphabet of size %d" i c n))
+        s)
+    sequences;
+  { alphabet; sequences; background_cache = None; log_background_cache = None }
+
+let of_strings alphabet lines =
+  create alphabet (Array.of_list (List.map (Alphabet.encode_string alphabet) lines))
+
+let alphabet t = t.alphabet
+let n_sequences t = Array.length t.sequences
+
+let get t i =
+  if i < 0 || i >= Array.length t.sequences then invalid_arg "Seq_database.get";
+  t.sequences.(i)
+
+let sequences t = t.sequences
+let total_symbols t = Array.fold_left (fun acc s -> acc + Array.length s) 0 t.sequences
+
+let avg_length t =
+  let n = n_sequences t in
+  if n = 0 then 0.0 else float_of_int (total_symbols t) /. float_of_int n
+
+let background t =
+  match t.background_cache with
+  | Some bg -> bg
+  | None ->
+      let n = Alphabet.size t.alphabet in
+      let counts = Array.make n 0 in
+      Array.iter (Array.iter (fun c -> counts.(c) <- counts.(c) + 1)) t.sequences;
+      let total = Array.fold_left ( + ) 0 counts in
+      (* Laplace (add-one) smoothing: an unseen symbol gets probability
+         1/(total+n), the natural "never observed in total draws" estimate.
+         A harder floor (e.g. 1e-9) would make log p(s) for unseen symbols
+         far more negative than any PST's smoothed prediction, handing a
+         large spurious similarity bonus to sequences containing symbols
+         absent from the database. *)
+      let bg =
+        Array.map
+          (fun c -> float_of_int (c + 1) /. float_of_int (total + n))
+          counts
+      in
+      t.background_cache <- Some bg;
+      bg
+
+let log_background t =
+  match t.log_background_cache with
+  | Some lg -> lg
+  | None ->
+      let lg = Array.map log (background t) in
+      t.log_background_cache <- Some lg;
+      lg
+
+let iteri f t = Array.iteri f t.sequences
+
+let subset t idx =
+  create t.alphabet (Array.map (fun i -> get t i) idx)
+
+let pp fmt t =
+  Format.fprintf fmt "db(N=%d, |Σ|=%d, avg_len=%.1f)" (n_sequences t)
+    (Alphabet.size t.alphabet) (avg_length t)

@@ -1,0 +1,57 @@
+(** Sequence databases.
+
+    A sequence database is a set of sequences over a common alphabet (paper
+    Sec. 2). The database also owns the background symbol distribution
+    {m p(s)} — the probability of observing symbol [s] at any position of
+    any sequence — used as the memoryless-random-generator reference in the
+    similarity measure {m sim_S(σ) = P_S(σ)/P^r(σ)}. *)
+
+type t
+(** An immutable sequence database. *)
+
+val create : Alphabet.t -> Sequence.t array -> t
+(** [create alphabet sequences] builds a database. Raises [Invalid_argument]
+    if a sequence contains a code outside the alphabet. *)
+
+val of_strings : Alphabet.t -> string list -> t
+(** [of_strings alphabet lines] encodes each string as a sequence. *)
+
+val alphabet : t -> Alphabet.t
+(** The common alphabet. *)
+
+val n_sequences : t -> int
+(** Number of sequences N. *)
+
+val get : t -> int -> Sequence.t
+(** [get t i] is the i-th sequence. *)
+
+val sequences : t -> Sequence.t array
+(** The underlying array (do not mutate). *)
+
+val total_symbols : t -> int
+(** Sum of all sequence lengths. *)
+
+val avg_length : t -> float
+(** Mean sequence length; [0.] for an empty database. *)
+
+val background : t -> float array
+(** [background t] is the Laplace-smoothed (add-one) empirical symbol
+    distribution {m p(s)} over the whole database:
+    {m (count_s + 1)/(total + |Σ|)}. Add-one keeps {m \log p(s)} finite
+    for unseen symbols {e at the same scale} as a PST's smoothed
+    predictions — a hard floor would award sequences containing
+    database-unseen symbols a huge spurious similarity bonus. Computed
+    once and cached. *)
+
+val log_background : t -> float array
+(** [log_background t] is [Array.map log (background t)], cached. *)
+
+val iteri : (int -> Sequence.t -> unit) -> t -> unit
+(** Iterate over (index, sequence). *)
+
+val subset : t -> int array -> t
+(** [subset t idx] is a database of the selected sequences (shared alphabet;
+    background is recomputed for the subset). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary. *)

@@ -1,0 +1,50 @@
+type t = int array
+
+let length = Array.length
+
+let segment s ~lo ~hi =
+  if lo < 0 || hi >= Array.length s || lo > hi then invalid_arg "Sequence.segment";
+  Array.sub s lo (hi - lo + 1)
+
+let matches_at big small pos =
+  let n = Array.length small in
+  let rec go i = i = n || (big.(pos + i) = small.(i) && go (i + 1)) in
+  go 0
+
+let is_segment_of small big =
+  let n = Array.length small and m = Array.length big in
+  if n = 0 then true
+  else if n > m then false
+  else
+    let rec go pos = pos <= m - n && (matches_at big small pos || go (pos + 1)) in
+    go 0
+
+let is_suffix_of small big =
+  let n = Array.length small and m = Array.length big in
+  n <= m && matches_at big small (m - n)
+
+let is_prefix_of small big =
+  let n = Array.length small and m = Array.length big in
+  n <= m && matches_at big small 0
+
+let reverse s =
+  let n = Array.length s in
+  Array.init n (fun i -> s.(n - 1 - i))
+
+let count_occurrences s ~pattern =
+  let n = Array.length pattern and m = Array.length s in
+  if n = 0 || n > m then 0
+  else begin
+    let acc = ref 0 in
+    for pos = 0 to m - n do
+      if matches_at s pattern pos then incr acc
+    done;
+    !acc
+  end
+
+let of_string alpha s = Alphabet.encode_string alpha s
+let to_string alpha s = Alphabet.decode alpha s
+let equal a b = a = b
+
+let pp fmt s =
+  Format.fprintf fmt "[%s]" (String.concat ";" (Array.to_list (Array.map string_of_int s)))

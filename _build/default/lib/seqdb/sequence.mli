@@ -1,0 +1,45 @@
+(** Symbol sequences.
+
+    A sequence is an ordered list of symbol codes (paper Sec. 2), stored as
+    an immutable-by-convention [int array]. Helper operations cover the
+    segment/suffix/prefix vocabulary used throughout the paper. *)
+
+type t = int array
+(** A sequence of symbol codes. Treat as immutable. *)
+
+val length : t -> int
+(** Number of symbols. *)
+
+val segment : t -> lo:int -> hi:int -> t
+(** [segment s ~lo ~hi] is the consecutive portion [s.(lo) .. s.(hi)]
+    (inclusive bounds). Raises [Invalid_argument] on bad bounds. *)
+
+val is_segment_of : t -> t -> bool
+(** [is_segment_of small big] iff [small] occurs consecutively in [big].
+    The empty sequence is a segment of every sequence. *)
+
+val is_suffix_of : t -> t -> bool
+(** [is_suffix_of small big] per the paper's suffix definition. *)
+
+val is_prefix_of : t -> t -> bool
+(** [is_prefix_of small big] per the paper's prefix definition. *)
+
+val reverse : t -> t
+(** [reverse s] is the reversed sequence (paper Sec. 3: PSTs are built on
+    reversed sequences). *)
+
+val count_occurrences : t -> pattern:t -> int
+(** [count_occurrences s ~pattern] is the number of (possibly overlapping)
+    occurrences of [pattern] in [s]; [0] for an empty pattern. *)
+
+val of_string : Alphabet.t -> string -> t
+(** [of_string alpha s] encodes a character string. *)
+
+val to_string : Alphabet.t -> t -> string
+(** [to_string alpha s] decodes to a printable string. *)
+
+val equal : t -> t -> bool
+(** Element-wise equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints codes as a compact bracketed list. *)

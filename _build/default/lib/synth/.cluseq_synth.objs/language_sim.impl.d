@@ -1,0 +1,1 @@
+lib/synth/language_sim.ml: Alphabet Array Buffer List Rng Seq_database String

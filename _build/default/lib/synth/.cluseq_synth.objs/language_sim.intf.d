@@ -1,0 +1,1 @@
+lib/synth/language_sim.mli: Rng Seq_database

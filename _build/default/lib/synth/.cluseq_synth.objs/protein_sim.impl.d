@@ -1,0 +1,1 @@
+lib/synth/protein_sim.ml: Alphabet Array Float Rng Seq_database Stats

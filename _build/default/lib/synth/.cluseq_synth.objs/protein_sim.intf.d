@@ -1,0 +1,1 @@
+lib/synth/protein_sim.mli: Seq_database

@@ -1,0 +1,1 @@
+lib/synth/pst_gen.ml: Array Float Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/synth/pst_gen.mli: Rng Sequence

@@ -1,0 +1,1 @@
+lib/synth/workload.ml: Alphabet Array Char List Printf Pst_gen Rng Seq_database

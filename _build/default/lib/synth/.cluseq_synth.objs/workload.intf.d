@@ -1,0 +1,1 @@
+lib/synth/workload.mli: Pst_gen Seq_database

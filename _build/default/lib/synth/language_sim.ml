@@ -1,0 +1,163 @@
+type language = English | Chinese | Japanese | Russian | German
+
+let language_name = function
+  | English -> "english"
+  | Chinese -> "chinese"
+  | Japanese -> "japanese"
+  | Russian -> "russian"
+  | German -> "german"
+
+(* ------------------------------------------------------------------ *)
+(* English: sample common words (Zipf-ish ordering, earlier = likelier).
+   Produces the high-frequency "th", "he", "e", and "ion/ch/sh" digraph
+   statistics the paper discusses.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let english_words =
+  [|
+    "the"; "of"; "and"; "to"; "in"; "that"; "is"; "was"; "he"; "for"; "it";
+    "with"; "as"; "his"; "on"; "be"; "at"; "by"; "had"; "not"; "are"; "but";
+    "from"; "or"; "have"; "an"; "they"; "which"; "one"; "you"; "were"; "her";
+    "all"; "she"; "there"; "would"; "their"; "we"; "him"; "been"; "has";
+    "when"; "who"; "will"; "more"; "no"; "if"; "out"; "so"; "said"; "what";
+    "up"; "its"; "about"; "into"; "than"; "them"; "can"; "only"; "other";
+    "new"; "some"; "could"; "time"; "these"; "two"; "may"; "then"; "do";
+    "first"; "any"; "my"; "now"; "such"; "like"; "our"; "over"; "man"; "me";
+    "even"; "most"; "made"; "after"; "also"; "did"; "many"; "before"; "must";
+    "through"; "years"; "where"; "much"; "your"; "way"; "well"; "down";
+    "should"; "because"; "each"; "just"; "those"; "people"; "how"; "too";
+    "nation"; "action"; "station"; "question"; "information"; "church";
+    "children"; "should"; "world"; "still"; "between"; "never"; "under";
+    "might"; "while"; "house"; "shall"; "both"; "against"; "right"; "think";
+    "government"; "president"; "report"; "national"; "change"; "position";
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Chinese: pinyin syllables, weighted toward frequent ones. Note the
+   deliberate density of ch/sh/zh and -ng finals.                       *)
+(* ------------------------------------------------------------------ *)
+
+let pinyin_syllables =
+  [|
+    "de"; "shi"; "yi"; "bu"; "le"; "zhe"; "ren"; "wo"; "zai"; "you"; "ta";
+    "zhong"; "guo"; "shang"; "ge"; "men"; "dao"; "wei"; "jiu"; "xue"; "hao";
+    "kan"; "qi"; "lai"; "dui"; "sheng"; "ye"; "hui"; "zi"; "na"; "xia";
+    "jia"; "ke"; "shuo"; "hou"; "tian"; "neng"; "xiang"; "kai"; "shou";
+    "cheng"; "jing"; "chang"; "jian"; "xin"; "ming"; "fa"; "fang"; "dian";
+    "xian"; "yang"; "qian"; "dong"; "gong"; "zuo"; "yong"; "mei"; "li";
+    "quan"; "zhi"; "chu"; "wen"; "ding"; "bian"; "gao"; "guan"; "jin";
+    "zheng"; "fu"; "bao"; "xing"; "tong"; "qing"; "gei"; "zhu"; "chi";
+    "huo"; "ban"; "shen"; "dang"; "ran"; "hua"; "nian"; "zhan"; "chan";
+    "shui"; "feng"; "niu"; "ma"; "lu"; "hai"; "tai"; "wan"; "yuan"; "jun";
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Japanese: romaji syllabary + common particles/endings; the CV
+   alternation emerges from the syllable structure itself.              *)
+(* ------------------------------------------------------------------ *)
+
+let romaji_syllables =
+  [|
+    "ka"; "ki"; "ku"; "ke"; "ko"; "sa"; "shi"; "su"; "se"; "so"; "ta";
+    "chi"; "tsu"; "te"; "to"; "na"; "ni"; "nu"; "ne"; "no"; "ha"; "hi";
+    "fu"; "he"; "ho"; "ma"; "mi"; "mu"; "me"; "mo"; "ya"; "yu"; "yo";
+    "ra"; "ri"; "ru"; "re"; "ro"; "wa"; "ga"; "gi"; "gu"; "ge"; "go";
+    "za"; "ji"; "zu"; "ze"; "zo"; "da"; "do"; "ba"; "bi"; "bu"; "be";
+    "bo"; "a"; "i"; "u"; "e"; "o"; "n";
+  |]
+
+let japanese_words =
+  [|
+    "desu"; "masu"; "shita"; "no"; "wa"; "ga"; "ni"; "wo"; "to"; "kara";
+    "made"; "koto"; "mono"; "suru"; "naru"; "aru"; "iru"; "kimasu"; "deshita";
+  |]
+
+(* Geminate consonants and long vowels are signature romaji digraphs that
+   pinyin lacks; they sharpen the zh/ja boundary just as real text does. *)
+let japanese_special = [| "tte"; "kka"; "ssu"; "tto"; "ou"; "uu"; "ei"; "aa"; "nn" |]
+
+(* ------------------------------------------------------------------ *)
+(* Noise languages                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let russian_chunks =
+  [|
+    "ov"; "ev"; "ski"; "aya"; "oye"; "shch"; "zh"; "da"; "nye"; "pro";
+    "go"; "ra"; "vo"; "na"; "po"; "sto"; "gor"; "grad"; "nik"; "ost";
+    "pri"; "vet"; "mir"; "ya"; "tre"; "bo"; "vich"; "kov"; "drug"; "ka";
+  |]
+
+let german_chunks =
+  [|
+    "der"; "die"; "das"; "und"; "ein"; "sch"; "ung"; "ich"; "ver"; "gen";
+    "ber"; "ten"; "lich"; "kei"; "zu"; "auf"; "mit"; "fur"; "wir"; "nicht";
+    "haben"; "wer"; "den"; "ges"; "ste"; "ander"; "zeit"; "land"; "tag";
+  |]
+
+(* Zipf-ish weight: word at rank r gets weight 1/(r+3). *)
+let zipf_pick rng (words : string array) =
+  let n = Array.length words in
+  let weights = Array.init n (fun r -> 1.0 /. float_of_int (r + 3)) in
+  words.(Rng.categorical rng weights)
+
+let next_word rng = function
+  | English -> zipf_pick rng english_words
+  | Chinese ->
+      (* words of 1-3 syllables, weighted toward 2 *)
+      let k = match Rng.int rng 4 with 0 -> 1 | 3 -> 3 | _ -> 2 in
+      String.concat "" (List.init k (fun _ -> zipf_pick rng pinyin_syllables))
+  | Japanese ->
+      let r = Rng.int rng 8 in
+      if r < 2 then zipf_pick rng japanese_words
+      else if r = 2 then
+        zipf_pick rng romaji_syllables ^ japanese_special.(Rng.int rng (Array.length japanese_special))
+      else
+        let k = 2 + Rng.int rng 3 in
+        String.concat "" (List.init k (fun _ -> zipf_pick rng romaji_syllables))
+  | Russian ->
+      let k = 2 + Rng.int rng 3 in
+      String.concat "" (List.init k (fun _ -> zipf_pick rng russian_chunks))
+  | German -> zipf_pick rng german_chunks
+
+let sentence rng lang ~min_len ~max_len =
+  if min_len <= 0 || max_len < min_len then invalid_arg "Language_sim.sentence";
+  let buf = Buffer.create max_len in
+  while Buffer.length buf < min_len do
+    Buffer.add_string buf (next_word rng lang)
+  done;
+  let s = Buffer.contents buf in
+  if String.length s > max_len then String.sub s 0 max_len else s
+
+type params = {
+  per_language : int;
+  n_noise : int;
+  min_len : int;
+  max_len : int;
+  seed : int;
+}
+
+let default_params = { per_language = 600; n_noise = 100; min_len = 40; max_len = 120; seed = 5 }
+
+type t = { db : Seq_database.t; labels : int array; params : params }
+
+let generate p =
+  if p.per_language <= 0 then invalid_arg "Language_sim.generate";
+  let rng = Rng.create p.seed in
+  let rows = ref [] in
+  let emit label lang count =
+    for _ = 1 to count do
+      rows := (label, sentence rng lang ~min_len:p.min_len ~max_len:p.max_len) :: !rows
+    done
+  in
+  emit 0 English p.per_language;
+  emit 1 Chinese p.per_language;
+  emit 2 Japanese p.per_language;
+  emit (-1) Russian (p.n_noise / 2);
+  emit (-1) German (p.n_noise - (p.n_noise / 2));
+  let rows = Array.of_list !rows in
+  Rng.shuffle rng rows;
+  let alphabet = Alphabet.of_char_range 'a' 'z' in
+  let db =
+    Seq_database.create alphabet (Array.map (fun (_, s) -> Alphabet.encode_string alphabet s) rows)
+  in
+  { db; labels = Array.map fst rows; params = p }

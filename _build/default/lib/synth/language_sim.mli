@@ -1,0 +1,46 @@
+(** Simulated multilingual sentence database (paper Sec. 6.1, Table 4).
+
+    The paper clusters 600 sentences per language from English, Chinese
+    (pinyin transcription), and Japanese (romaji transcription) news sites,
+    spaces removed, plus 100 noise sentences from other languages. We have
+    no web corpora, so each language is a generator encoding the letter
+    statistics the paper itself identifies as discriminative:
+
+    - {b English}: common-word sampling ⇒ high "th"/"he"/"e" frequency and
+      the "ion/ch/sh" endings the paper notes are shared with pinyin;
+    - {b Chinese}: pinyin syllables (initial + final grammar) — including
+      "ch"/"sh"/"ng"-rich syllables, the paper's stated confusion source;
+    - {b Japanese}: romaji syllabary ⇒ strict consonant–vowel alternation,
+      the paper's "most dominant rule in Japanese";
+    - noise: Russian- and German-transliteration generators. *)
+
+type language = English | Chinese | Japanese | Russian | German
+
+val language_name : language -> string
+(** Lowercase English name. *)
+
+val sentence : Rng.t -> language -> min_len:int -> max_len:int -> string
+(** [sentence rng lang ~min_len ~max_len] is a space-free lowercase
+    sentence of length within the bounds (generation stops at a word
+    boundary past [min_len] and truncates at [max_len]). *)
+
+type params = {
+  per_language : int;  (** Sentences per clustered language (paper: 600). *)
+  n_noise : int;  (** Noise sentences in other languages (paper: 100). *)
+  min_len : int;  (** Minimum sentence length in letters. *)
+  max_len : int;  (** Maximum sentence length in letters. *)
+  seed : int;
+}
+
+val default_params : params
+(** 600 per language, 100 noise, lengths 40–120, seed 5. *)
+
+type t = {
+  db : Seq_database.t;  (** Sentences over the 26-letter alphabet. *)
+  labels : int array;
+      (** 0 = English, 1 = Chinese, 2 = Japanese, -1 = noise. *)
+  params : params;
+}
+
+val generate : params -> t
+(** Build the database (deterministic in [params.seed]). *)

@@ -1,0 +1,135 @@
+type params = {
+  n_families : int;
+  total_sequences : int;
+  avg_length : int;
+  motifs_per_family : int;
+  motif_len : int * int;
+  motif_copies : int;
+  mutation_rate : float;
+  composition_bias : float;
+  size_skew : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    n_families = 30;
+    total_sequences = 600;
+    avg_length = 200;
+    motifs_per_family = 4;
+    motif_len = (6, 12);
+    motif_copies = 1;
+    mutation_rate = 0.08;
+    composition_bias = 0.1;
+    size_skew = 1.86;
+    seed = 11;
+  }
+
+type family = { motifs : int array array; transition : float array array; initial : float array }
+
+type t = {
+  db : Seq_database.t;
+  labels : int array;
+  family_sizes : int array;
+  params : params;
+}
+
+let n_aa = 20
+
+(* One background chain shared by every family: protein composition and
+   local statistics are common chemistry; family identity lives in the
+   conserved motifs only (cf. the paper's "conserved protein regions").
+   This is what makes the problem hard for composition-based methods
+   (q-grams) and global alignment (ED), as in the paper's Table 2. *)
+type background = { initial : float array; transition : float array array }
+
+let random_background rng =
+  {
+    initial = Rng.dirichlet_like rng ~concentration:1.2 n_aa;
+    transition = Array.init n_aa (fun _ -> Rng.dirichlet_like rng ~concentration:0.8 n_aa);
+  }
+
+let mix w shared own =
+  Array.init (Array.length shared) (fun i -> ((1.0 -. w) *. shared.(i)) +. (w *. own.(i)))
+
+let random_family rng p bg =
+  let lo, hi = p.motif_len in
+  let w = p.composition_bias in
+  {
+    motifs =
+      Array.init p.motifs_per_family (fun _ ->
+          let len = lo + Rng.int rng (max 1 (hi - lo + 1)) in
+          Array.init len (fun _ -> Rng.int rng n_aa));
+    (* Family transitions lean [composition_bias] away from the shared
+       background: the mild order-0/1 composition signal real families
+       carry on top of their conserved motifs. *)
+    transition =
+      Array.init n_aa (fun r ->
+          mix w bg.transition.(r) (Rng.dirichlet_like rng ~concentration:0.8 n_aa));
+    initial = mix w bg.initial (Rng.dirichlet_like rng ~concentration:1.2 n_aa);
+  }
+
+let family_sizes rng p =
+  (* Log-uniform sizes over a dynamic range of exp(size_skew), scaled to
+     sum to total_sequences (each family keeps at least 2 members). *)
+  let raw = Array.init p.n_families (fun _ -> exp (Rng.float rng p.size_skew)) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  let sizes =
+    Array.map
+      (fun r ->
+        max 2 (int_of_float (Float.round (r /. total *. float_of_int p.total_sequences))))
+      raw
+  in
+  let drift = p.total_sequences - Array.fold_left ( + ) 0 sizes in
+  let largest = Stats.argmax (Array.map float_of_int sizes) in
+  sizes.(largest) <- max 2 (sizes.(largest) + drift);
+  sizes
+
+let generate_protein rng p (fam : family) =
+  let len = max 30 (p.avg_length / 2 + Rng.int rng p.avg_length) in
+  let s = Array.make len 0 in
+  s.(0) <- Rng.categorical rng fam.initial;
+  for i = 1 to len - 1 do
+    s.(i) <- Rng.categorical rng fam.transition.(s.(i - 1))
+  done;
+  (* Plant [motif_copies] lightly mutated copies of each family motif at
+     random non-clobbering-agnostic positions. *)
+  Array.iter
+    (fun motif ->
+      let mlen = Array.length motif in
+      if mlen < len then
+        for _ = 1 to p.motif_copies do
+          let pos = Rng.int rng (len - mlen) in
+          Array.iteri
+            (fun j sym ->
+              let sym =
+                if Rng.float rng 1.0 < p.mutation_rate then Rng.int rng n_aa else sym
+              in
+              s.(pos + j) <- sym)
+            motif
+        done)
+    fam.motifs;
+  s
+
+let generate p =
+  if p.n_families <= 0 || p.total_sequences < 2 * p.n_families then
+    invalid_arg "Protein_sim.generate: need >= 2 sequences per family";
+  let rng = Rng.create p.seed in
+  let bg = random_background rng in
+  let families = Array.init p.n_families (fun _ -> random_family rng p bg) in
+  let sizes = family_sizes rng p in
+  let rows = ref [] in
+  Array.iteri
+    (fun f size ->
+      for _ = 1 to size do
+        rows := (f, generate_protein rng p families.(f)) :: !rows
+      done)
+    sizes;
+  let rows = Array.of_list !rows in
+  Rng.shuffle rng rows;
+  {
+    db = Seq_database.create Alphabet.amino_acids (Array.map snd rows);
+    labels = Array.map fst rows;
+    family_sizes = sizes;
+    params = p;
+  }

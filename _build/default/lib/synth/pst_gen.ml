@@ -1,0 +1,89 @@
+(* Contexts are stored most-recent-symbol-first so that matching the suffix
+   of the emitted prefix is a straight walk. *)
+module Ctx = struct
+  type t = int list
+
+  let hash = Hashtbl.hash
+  let equal = ( = )
+end
+
+module Tbl = Hashtbl.Make (Ctx)
+
+type t = {
+  n : int;
+  base : float array; (* order-0 distribution *)
+  contexts : float array Tbl.t; (* reversed context -> next-symbol dist *)
+  max_len : int;
+}
+
+let random rng ~alphabet_size ?(n_contexts = 40) ?(max_context_len = 4)
+    ?(concentration = 0.25) ?(base_concentration = 1.5) ?base () =
+  if alphabet_size <= 0 then invalid_arg "Pst_gen.random";
+  (match base with
+  | Some b when Array.length b <> alphabet_size -> invalid_arg "Pst_gen.random: base size"
+  | _ -> ());
+  let base =
+    match base with
+    | Some b -> Array.copy b
+    | None -> Rng.dirichlet_like rng ~concentration:base_concentration alphabet_size
+  in
+  let contexts = Tbl.create (2 * n_contexts) in
+  for _ = 1 to n_contexts do
+    let len = 1 + Rng.int rng max_context_len in
+    (* Context symbols are drawn from the base distribution, not uniformly:
+       contexts made of common symbols actually occur in generated text, so
+       the planted signal survives large alphabets (cf. Figure 6(d)). *)
+    let ctx = List.init len (fun _ -> Rng.categorical rng base) in
+    (* Next-symbol distributions are a peaked tilt *of the base* (dirichlet
+       × base, renormalized): emissions stay inside the base's support, so
+       context chains keep triggering. With a near-uniform base this is an
+       ordinary peaked dirichlet. *)
+    let tilt = Rng.dirichlet_like rng ~concentration alphabet_size in
+    let dist = Array.mapi (fun i x -> x *. base.(i)) tilt in
+    let total = Array.fold_left ( +. ) 0.0 dist in
+    let dist =
+      if total > 0.0 then Array.map (fun x -> x /. total) dist
+      else Array.copy base
+    in
+    Tbl.replace contexts ctx dist
+  done;
+  { n = alphabet_size; base; contexts; max_len = max_context_len }
+
+let uniform ~alphabet_size =
+  {
+    n = alphabet_size;
+    base = Array.make alphabet_size (1.0 /. float_of_int alphabet_size);
+    contexts = Tbl.create 1;
+    max_len = 0;
+  }
+
+let alphabet_size t = t.n
+
+(* Longest stored context matching the suffix of the emitted prefix
+   [s.(0) .. s.(pos-1)]. *)
+let dist_at t s pos =
+  let best = ref t.base in
+  let ctx = ref [] in
+  let len = ref 1 in
+  while !len <= t.max_len && !len <= pos do
+    (* !ctx is most-recent-first: s_{pos-1}, s_{pos-2}, ... *)
+    ctx := !ctx @ [ s.(pos - !len) ];
+    (match Tbl.find_opt t.contexts !ctx with Some d -> best := d | None -> ());
+    incr len
+  done;
+  !best
+
+let generate t rng ~len =
+  let s = Array.make (max len 0) 0 in
+  for pos = 0 to len - 1 do
+    s.(pos) <- Rng.categorical rng (dist_at t s pos)
+  done;
+  s
+
+let log_likelihood t s =
+  let acc = ref 0.0 in
+  for pos = 0 to Array.length s - 1 do
+    let d = dist_at t s pos in
+    acc := !acc +. log (Float.max 1e-300 d.(s.(pos)))
+  done;
+  !acc

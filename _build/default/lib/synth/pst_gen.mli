@@ -1,0 +1,47 @@
+(** Generative variable-order Markov models for synthetic clusters.
+
+    The paper's synthetic datasets (Sec. 6.2–6.4) embed clusters whose
+    "sequences are all generated according to the same probabilistic suffix
+    tree". This module builds random such models — a set of contexts, each
+    with a peaked next-symbol distribution — and samples sequences from
+    them: at every position the longest stored context matching the emitted
+    suffix supplies the distribution of the next symbol. *)
+
+type t
+(** An immutable generative model. *)
+
+val random :
+  Rng.t ->
+  alphabet_size:int ->
+  ?n_contexts:int ->
+  ?max_context_len:int ->
+  ?concentration:float ->
+  ?base_concentration:float ->
+  ?base:float array ->
+  unit ->
+  t
+(** [random rng ~alphabet_size ()] draws a model with [n_contexts] random
+    contexts (default 40) of length 1 .. [max_context_len] (default 4),
+    each carrying a next-symbol distribution of peakedness governed by
+    [concentration] (default 0.25; smaller = more peaked = more distinctive
+    clusters), plus a random order-0 base distribution of peakedness
+    [base_concentration] (default 1.5, near-uniform; smaller = a few
+    dominant symbols). Context symbols are sampled from the base so the
+    contexts occur in generated text even over large alphabets. Passing
+    [base]
+    fixes the order-0 distribution instead — giving several models the
+    same base makes them indistinguishable at order 0, so telling them
+    apart requires the deep contexts (used by the Figure 4 bench to make
+    the PST memory budget matter). *)
+
+val uniform : alphabet_size:int -> t
+(** The memoryless uniform model (outlier generator). *)
+
+val alphabet_size : t -> int
+(** |Σ| of the model. *)
+
+val generate : t -> Rng.t -> len:int -> Sequence.t
+(** [generate t rng ~len] samples a sequence of exactly [len] symbols. *)
+
+val log_likelihood : t -> Sequence.t -> float
+(** Log-probability of generating [s] under the model (for tests). *)

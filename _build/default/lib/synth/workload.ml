@@ -1,0 +1,106 @@
+type params = {
+  n_sequences : int;
+  avg_length : int;
+  alphabet_size : int;
+  n_clusters : int;
+  outlier_fraction : float;
+  contexts_per_cluster : int;
+  max_context_len : int;
+  concentration : float;
+  base_concentration : float;
+  core_symbols : int option;
+  shared_base : bool;
+  seed : int;
+}
+
+let default_params =
+  {
+    n_sequences = 1000;
+    avg_length = 200;
+    alphabet_size = 26;
+    n_clusters = 10;
+    outlier_fraction = 0.05;
+    contexts_per_cluster = 40;
+    max_context_len = 4;
+    concentration = 0.25;
+    base_concentration = 1.5;
+    core_symbols = None;
+    shared_base = false;
+    seed = 7;
+  }
+
+type t = {
+  db : Seq_database.t;
+  labels : int array;
+  params : params;
+  models : Pst_gen.t array;
+}
+
+let sample_length rng avg =
+  let lo = max 2 (avg / 2) in
+  let hi = avg * 3 / 2 in
+  lo + Rng.int rng (max 1 (hi - lo + 1))
+
+let alphabet_for n =
+  if n <= 26 then Alphabet.of_char_range 'a' (Char.chr (Char.code 'a' + n - 1))
+  else Alphabet.of_symbols (List.init n (Printf.sprintf "s%d"))
+
+let sample ~rng ~models ~outlier_model p n_sequences =
+  let n_outliers = int_of_float (p.outlier_fraction *. float_of_int n_sequences) in
+  let n_clustered = n_sequences - n_outliers in
+  let rows = Array.make n_sequences ((-1), [||]) in
+  for i = 0 to n_clustered - 1 do
+    let label = i mod p.n_clusters in
+    let len = sample_length rng p.avg_length in
+    rows.(i) <- (label, Pst_gen.generate models.(label) rng ~len)
+  done;
+  for i = n_clustered to n_sequences - 1 do
+    let len = sample_length rng p.avg_length in
+    rows.(i) <- (-1, Pst_gen.generate outlier_model rng ~len)
+  done;
+  Rng.shuffle rng rows;
+  let db = Seq_database.create (alphabet_for p.alphabet_size) (Array.map snd rows) in
+  { db; labels = Array.map fst rows; params = p; models }
+
+let generate p =
+  if p.n_sequences <= 0 || p.n_clusters <= 0 then invalid_arg "Workload.generate";
+  if p.outlier_fraction < 0.0 || p.outlier_fraction >= 1.0 then
+    invalid_arg "Workload.generate: outlier_fraction";
+  let rng = Rng.create p.seed in
+  (* A "core" base puts 90% of the order-0 mass uniformly on a random
+     subset of the alphabet: per-symbol statistics (hence context hit
+     rates) become independent of |Σ|, which is what makes the Figure 6(d)
+     sweep meaningful. *)
+  let core_base () =
+    match p.core_symbols with
+    | None -> Rng.dirichlet_like rng ~concentration:p.base_concentration p.alphabet_size
+    | Some k ->
+        let k = max 1 (min k p.alphabet_size) in
+        let core = Rng.sample_without_replacement rng ~k ~n:p.alphabet_size in
+        let rest = max 1 (p.alphabet_size - k) in
+        let b = Array.make p.alphabet_size (0.1 /. float_of_int rest) in
+        Array.iter (fun i -> b.(i) <- 0.9 /. float_of_int k) core;
+        let total = Array.fold_left ( +. ) 0.0 b in
+        Array.map (fun x -> x /. total) b
+  in
+  let base =
+    if p.shared_base || p.core_symbols <> None then Some (core_base ()) else None
+  in
+  let models =
+    Array.init p.n_clusters (fun _ ->
+        Pst_gen.random rng ~alphabet_size:p.alphabet_size
+          ~n_contexts:p.contexts_per_cluster ~max_context_len:p.max_context_len
+          ~concentration:p.concentration ~base_concentration:p.base_concentration ?base ())
+  in
+  let outlier_model = Pst_gen.uniform ~alphabet_size:p.alphabet_size in
+  sample ~rng ~models ~outlier_model p p.n_sequences
+
+let resample t ~n_sequences ~seed =
+  if n_sequences <= 0 then invalid_arg "Workload.resample";
+  let p = t.params in
+  let rng = Rng.create seed in
+  let outlier_model = Pst_gen.uniform ~alphabet_size:p.alphabet_size in
+  sample ~rng ~models:t.models ~outlier_model p n_sequences
+
+let outlier_count t =
+  Array.fold_left (fun acc l -> if l = -1 then acc + 1 else acc) 0 t.labels

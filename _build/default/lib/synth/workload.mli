@@ -1,0 +1,53 @@
+(** Synthetic clustered workloads, mirroring the datasets of paper
+    Sec. 6.2–6.4: N sequences of average length L over |Σ| symbols with k
+    embedded clusters (each generated from its own random variable-order
+    model) plus a fraction of memoryless outliers. *)
+
+type params = {
+  n_sequences : int;  (** N. *)
+  avg_length : int;  (** Mean sequence length (uniform in ±50%). *)
+  alphabet_size : int;  (** |Σ|. *)
+  n_clusters : int;  (** Embedded clusters k. *)
+  outlier_fraction : float;  (** Fraction of memoryless-random sequences. *)
+  contexts_per_cluster : int;  (** Model size per cluster. *)
+  max_context_len : int;  (** Max context length of the generators. *)
+  concentration : float;  (** Peakedness; smaller = better separated. *)
+  base_concentration : float;
+      (** Peakedness of the order-0 base (1.5 = near-uniform; small values
+          concentrate usage on few symbols — keeps workloads comparable
+          across alphabet sizes, Fig. 6(d)). *)
+  core_symbols : int option;
+      (** [Some k]: the (shared) order-0 base puts 90% of its mass
+          uniformly on a random core of [k] symbols, making per-symbol
+          statistics independent of |Σ| (the Fig. 6(d) sweep). *)
+  shared_base : bool;
+      (** When true, every cluster model uses one common order-0
+          distribution: clusters are then indistinguishable without the
+          deep contexts, making model-memory budgets matter (Fig. 4). *)
+  seed : int;  (** Determinism. *)
+}
+
+val default_params : params
+(** N=1000, L=200, |Σ|=26, k=10, 5% outliers, 40 contexts of length ≤ 4,
+    concentration 0.25, per-cluster bases, seed 7. *)
+
+type t = {
+  db : Seq_database.t;  (** The generated database. *)
+  labels : int array;
+      (** Ground truth per sequence: cluster index in [\[0, k)], or [-1]
+          for outliers. *)
+  params : params;  (** The generating parameters. *)
+  models : Pst_gen.t array;  (** The per-cluster generators (for {!resample}). *)
+}
+
+val generate : params -> t
+(** [generate params] builds a workload. Cluster sizes are balanced (±1);
+    sequence order is shuffled so ids carry no label information. *)
+
+val resample : t -> n_sequences:int -> seed:int -> t
+(** [resample t ~n_sequences ~seed] draws a fresh database from the {e
+    same} planted cluster models — held-out data for train/classify
+    experiments. *)
+
+val outlier_count : t -> int
+(** Number of ground-truth outliers. *)

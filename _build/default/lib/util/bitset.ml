@@ -1,0 +1,82 @@
+type t = { words : int array; cap : int }
+
+let bits_per_word = 62 (* portable: avoid relying on boxed-int width *)
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((cap + bits_per_word - 1) / bits_per_word + 1) 0; cap }
+
+let capacity t = t.cap
+let copy t = { words = Array.copy t.words; cap = t.cap }
+
+let check t i =
+  if i < 0 || i >= t.cap then invalid_arg "Bitset: index out of range"
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let check_same a b =
+  if a.cap <> b.cap then invalid_arg "Bitset: capacity mismatch"
+
+let union_into ~dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let diff_cardinal a b =
+  check_same a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land lnot b.words.(i))
+  done;
+  !acc
+
+let inter_cardinal a b =
+  check_same a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let iter f t =
+  for i = 0 to t.cap - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.cap - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list cap xs =
+  let t = create cap in
+  List.iter (add t) xs;
+  t
+
+let equal a b =
+  check_same a b;
+  Array.for_all2 ( = ) a.words b.words

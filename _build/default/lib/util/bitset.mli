@@ -1,0 +1,58 @@
+(** Compact mutable bitsets over [0 .. capacity-1].
+
+    Cluster membership sets are bitsets indexed by sequence id: the
+    consolidation step (paper Sec. 4.5) needs fast "members of this cluster
+    not covered by larger clusters" computations, which reduce to bitwise
+    difference and popcount. *)
+
+type t
+(** A fixed-capacity set of small integers. *)
+
+val create : int -> t
+(** [create capacity] is the empty set over [\[0, capacity)]. *)
+
+val capacity : t -> int
+(** The fixed capacity given at creation. *)
+
+val copy : t -> t
+(** An independent copy. *)
+
+val add : t -> int -> unit
+(** [add t i] inserts [i]. Raises [Invalid_argument] if out of range. *)
+
+val remove : t -> int -> unit
+(** [remove t i] deletes [i] (no-op if absent). *)
+
+val mem : t -> int -> bool
+(** Membership test. *)
+
+val cardinal : t -> int
+(** Number of members (popcount). *)
+
+val is_empty : t -> bool
+(** [is_empty t] iff [cardinal t = 0]. *)
+
+val clear : t -> unit
+(** Remove all members. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every member of [src] to [dst].
+    Capacities must match. *)
+
+val diff_cardinal : t -> t -> int
+(** [diff_cardinal a b] is [|a \ b|] without allocating. *)
+
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] is [|a ∩ b|] without allocating. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f t] applies [f] to every member in increasing order. *)
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list capacity xs] builds a set containing [xs]. *)
+
+val equal : t -> t -> bool
+(** Structural set equality (capacities must match). *)

@@ -1,0 +1,58 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ?(n_buckets = 50) ~lo ~hi () =
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  if n_buckets < 3 then invalid_arg "Histogram.create: need >= 3 buckets";
+  { lo; hi; width = (hi -. lo) /. float_of_int n_buckets; counts = Array.make n_buckets 0; total = 0 }
+
+let add t x =
+  let i = int_of_float ((x -. t.lo) /. t.width) in
+  let i = max 0 (min (Array.length t.counts - 1) i) in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let of_samples ?(n_buckets = 50) xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.of_samples: empty";
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  let pad = Float.max 1e-9 ((hi -. lo) *. 0.001) in
+  let t = create ~n_buckets ~lo:(lo -. pad) ~hi:(hi +. pad) () in
+  Array.iter (add t) xs;
+  t
+
+let count t = t.total
+let n_buckets t = Array.length t.counts
+let bucket_count t i = t.counts.(i)
+let bucket_center t i = t.lo +. ((float_of_int i +. 0.5) *. t.width)
+
+let to_points t =
+  Array.mapi (fun i c -> (bucket_center t i, float_of_int c)) t.counts
+
+let valley_on t y =
+  if t.total = 0 then None
+  else begin
+    let n = Array.length t.counts in
+    let x = Array.init n (bucket_center t) in
+    let left, right = Stats.prefix_suffix_slopes ~x ~y in
+    (* Interior buckets only, as in the paper's \hat t = max_{i=2}^{n-1}. *)
+    let best = ref 1 and best_diff = ref neg_infinity in
+    for i = 1 to n - 2 do
+      let d = Float.abs (left.(i) -. right.(i)) in
+      if d > !best_diff then begin
+        best_diff := d;
+        best := i
+      end
+    done;
+    Some (bucket_center t !best)
+  end
+
+let valley t = valley_on t (Array.map float_of_int t.counts)
+
+let valley_log t =
+  valley_on t (Array.map (fun c -> log1p (float_of_int c)) t.counts)

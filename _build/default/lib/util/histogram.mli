@@ -1,0 +1,52 @@
+(** Fixed-width histogram with the "sharpest turn" valley detector of paper
+    Sec. 4.6.
+
+    The CLUSEQ threshold adjuster builds a histogram of the similarities of
+    all sequence–cluster combinations and looks for the similarity value at
+    which the count curve turns most sharply: the point maximizing the
+    difference between the regression slope of the left-hand portion and the
+    right-hand portion of the curve. *)
+
+type t
+(** A histogram over a fixed range with equal-width buckets. *)
+
+val create : ?n_buckets:int -> lo:float -> hi:float -> unit -> t
+(** [create ~n_buckets ~lo ~hi ()] is an empty histogram over [\[lo, hi\]]
+    with [n_buckets] buckets (default [50]). Raises [Invalid_argument] if
+    [hi <= lo] or [n_buckets < 3]. *)
+
+val of_samples : ?n_buckets:int -> float array -> t
+(** [of_samples xs] builds a histogram spanning the sample range (slightly
+    widened). Raises [Invalid_argument] when [xs] is empty. *)
+
+val add : t -> float -> unit
+(** [add t x] increments the bucket containing [x]; values outside the range
+    are clamped into the first/last bucket. *)
+
+val count : t -> int
+(** Total number of added samples. *)
+
+val n_buckets : t -> int
+(** Number of buckets. *)
+
+val bucket_count : t -> int -> int
+(** [bucket_count t i] is the number of samples in bucket [i]. *)
+
+val bucket_center : t -> int -> float
+(** [bucket_center t i] is the median value {m x_i} of bucket [i]'s range. *)
+
+val valley : t -> float option
+(** [valley t] is the bucket-center {m \hat t} maximizing
+    {m |b_i^l - b_i^r|} over interior buckets [1 .. n-2], where {m b_i^l}
+    and {m b_i^r} are the regression slopes of the left and right portions
+    of the count curve (paper Sec. 4.6). [None] when the histogram holds no
+    samples. *)
+
+val valley_log : t -> float option
+(** Like {!valley} but computed on [log(1 + count)] — the robust choice
+    when counts span orders of magnitude, as similarity histograms do: raw
+    counts make the slope difference at the edge of the biggest hump drown
+    every later turn, while log counts weight relative declines. *)
+
+val to_points : t -> (float * float) array
+(** [(center, count)] pairs for every bucket, for printing/plotting. *)

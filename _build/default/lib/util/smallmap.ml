@@ -1,0 +1,91 @@
+type 'a t = {
+  mutable keys : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+}
+
+let create () = { keys = [||]; vals = [||]; len = 0 }
+let length t = t.len
+
+(* Binary search over [keys.(0 .. len-1)]; returns slot or [-1]. *)
+let find_idx t k =
+  let lo = ref 0 and hi = ref (t.len - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let km = t.keys.(mid) in
+    if km = k then begin
+      found := mid;
+      lo := !hi + 1
+    end
+    else if km < k then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let value_at t idx = t.vals.(idx)
+
+let find_opt t k =
+  let i = find_idx t k in
+  if i < 0 then None else Some t.vals.(i)
+
+(* Index of the first key >= k, i.e. the insertion point. *)
+let lower_bound t k =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.keys.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let grow t v =
+  let cap = Array.length t.keys in
+  if t.len = cap then begin
+    let ncap = max 4 (cap * 2) in
+    let nk = Array.make ncap 0 and nv = Array.make ncap v in
+    Array.blit t.keys 0 nk 0 t.len;
+    Array.blit t.vals 0 nv 0 t.len;
+    t.keys <- nk;
+    t.vals <- nv
+  end
+
+let set t k v =
+  let pos = lower_bound t k in
+  if pos < t.len && t.keys.(pos) = k then t.vals.(pos) <- v
+  else begin
+    grow t v;
+    Array.blit t.keys pos t.keys (pos + 1) (t.len - pos);
+    Array.blit t.vals pos t.vals (pos + 1) (t.len - pos);
+    t.keys.(pos) <- k;
+    t.vals.(pos) <- v;
+    t.len <- t.len + 1
+  end
+
+let remove t k =
+  let i = find_idx t k in
+  if i >= 0 then begin
+    Array.blit t.keys (i + 1) t.keys i (t.len - i - 1);
+    Array.blit t.vals (i + 1) t.vals i (t.len - i - 1);
+    t.len <- t.len - 1
+  end
+
+let get_int t k =
+  let i = find_idx t k in
+  if i < 0 then 0 else t.vals.(i)
+
+let add_int t k d =
+  let i = find_idx t k in
+  if i >= 0 then t.vals.(i) <- t.vals.(i) + d else set t k d
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.keys.(i) t.vals.(i)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f t.keys.(i) t.vals.(i) !acc
+  done;
+  !acc
+
+let keys t = Array.sub t.keys 0 t.len

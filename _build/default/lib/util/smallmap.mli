@@ -1,0 +1,49 @@
+(** Compact sorted integer-keyed maps.
+
+    PST nodes store their children and next-symbol counters keyed by symbol
+    code. Fan-outs are small (rarely above a few dozen), so a pair of sorted
+    parallel arrays with binary search beats hash tables on both memory and
+    lookup latency — and lookups dominate the similarity computation, the
+    hottest loop in CLUSEQ. *)
+
+type 'a t
+(** A mutable map from [int] keys to ['a] values. *)
+
+val create : unit -> 'a t
+(** An empty map. *)
+
+val length : 'a t -> int
+(** Number of bindings. *)
+
+val find_idx : 'a t -> int -> int
+(** [find_idx t k] is the internal slot of key [k], or [-1] when absent.
+    Use with {!value_at} to avoid allocating an option on hot paths. *)
+
+val value_at : 'a t -> int -> 'a
+(** [value_at t idx] is the value in slot [idx] (from {!find_idx}). *)
+
+val find_opt : 'a t -> int -> 'a option
+(** [find_opt t k] is the binding of [k], if any. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set t k v] binds [k] to [v], replacing any previous binding. *)
+
+val remove : 'a t -> int -> unit
+(** [remove t k] deletes the binding of [k] (no-op when absent). *)
+
+val get_int : int t -> int -> int
+(** [get_int t k] is the binding of [k] in an integer-valued map, defaulting
+    to [0] — the natural read for occurrence counters. *)
+
+val add_int : int t -> int -> int -> unit
+(** [add_int t k d] adds [d] to the counter at key [k] (treating a missing
+    key as [0]). *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Iterate bindings in increasing key order. *)
+
+val fold : (int -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Fold over bindings in increasing key order. *)
+
+val keys : 'a t -> int array
+(** Keys in increasing order. *)

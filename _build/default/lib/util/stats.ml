@@ -1,0 +1,79 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 1 then nan
+  else
+    let m = mean a in
+    let s = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    s /. float_of_int n
+
+let stddev a = sqrt (variance a)
+
+let slope_of_sums ~n ~sx ~sy ~sxy ~sxx =
+  let nf = float_of_int n in
+  let denom = sxx -. (sx *. sx /. nf) in
+  if n < 2 || Float.abs denom < 1e-12 then 0.0
+  else (sxy -. (sx *. sy /. nf)) /. denom
+
+let linear_regression points =
+  let n = Array.length points in
+  if n = 0 then (0.0, nan)
+  else begin
+    let sx = ref 0.0 and sy = ref 0.0 and sxy = ref 0.0 and sxx = ref 0.0 in
+    Array.iter
+      (fun (x, y) ->
+        sx := !sx +. x;
+        sy := !sy +. y;
+        sxy := !sxy +. (x *. y);
+        sxx := !sxx +. (x *. x))
+      points;
+    let b = slope_of_sums ~n ~sx:!sx ~sy:!sy ~sxy:!sxy ~sxx:!sxx in
+    let a = (!sy /. float_of_int n) -. (b *. !sx /. float_of_int n) in
+    (b, a)
+  end
+
+let prefix_suffix_slopes ~x ~y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Stats.prefix_suffix_slopes: length mismatch";
+  let left = Array.make n 0.0 and right = Array.make n 0.0 in
+  let sx = ref 0.0 and sy = ref 0.0 and sxy = ref 0.0 and sxx = ref 0.0 in
+  for i = 0 to n - 1 do
+    sx := !sx +. x.(i);
+    sy := !sy +. y.(i);
+    sxy := !sxy +. (x.(i) *. y.(i));
+    sxx := !sxx +. (x.(i) *. x.(i));
+    left.(i) <- slope_of_sums ~n:(i + 1) ~sx:!sx ~sy:!sy ~sxy:!sxy ~sxx:!sxx
+  done;
+  sx := 0.0;
+  sy := 0.0;
+  sxy := 0.0;
+  sxx := 0.0;
+  for i = n - 1 downto 0 do
+    sx := !sx +. x.(i);
+    sy := !sy +. y.(i);
+    sxy := !sxy +. (x.(i) *. y.(i));
+    sxx := !sxx +. (x.(i) *. x.(i));
+    right.(i) <- slope_of_sums ~n:(n - i) ~sx:!sx ~sy:!sy ~sxy:!sxy ~sxx:!sxx
+  done;
+  (left, right)
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let argmax a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.argmax: empty array";
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best

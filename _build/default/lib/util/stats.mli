@@ -1,0 +1,33 @@
+(** Small statistics helpers: moments, least-squares regression, and the
+    prefix/suffix regression-slope machinery used by the similarity-threshold
+    valley detector (paper Sec. 4.6). *)
+
+val mean : float array -> float
+(** [mean a] is the arithmetic mean; [nan] on an empty array. *)
+
+val variance : float array -> float
+(** [variance a] is the population variance; [nan] when [length a < 1]. *)
+
+val stddev : float array -> float
+(** [stddev a] is [sqrt (variance a)]. *)
+
+val linear_regression : (float * float) array -> float * float
+(** [linear_regression points] is [(slope, intercept)] of the least-squares
+    line through [points]. A degenerate fit (fewer than two points, or zero
+    x-variance) yields slope [0.] and intercept [mean y]. *)
+
+val prefix_suffix_slopes : x:float array -> y:float array -> float array * float array
+(** [prefix_suffix_slopes ~x ~y] returns [(left, right)] where [left.(i)] is
+    the regression slope of points [0..i] and [right.(i)] the slope of points
+    [i..n-1], each computed in O(n) total via running sums — exactly the
+    {m b_i^l} and {m b_i^r} of paper Sec. 4.6. Degenerate windows give
+    slope [0.]. Arrays must have equal length. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] is the [p]-th percentile ([0. <= p <= 100.]) of [a]
+    using nearest-rank on a sorted copy. Raises [Invalid_argument] on an
+    empty array. *)
+
+val argmax : float array -> int
+(** [argmax a] is the index of the maximum element (first on ties).
+    Raises [Invalid_argument] on an empty array. *)

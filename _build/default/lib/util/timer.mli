@@ -1,0 +1,8 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock time in seconds. *)
+
+val time_s : (unit -> unit) -> float
+(** [time_s f] is the elapsed wall-clock seconds of [f ()]. *)

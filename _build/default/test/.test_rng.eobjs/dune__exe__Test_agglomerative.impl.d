@@ -1,0 +1,1 @@
+test/test_agglomerative.ml: Agglomerative Alcotest Alphabet Array Char Gen List Metrics Printf QCheck QCheck_alcotest Rng Seq_database String

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Fun Int List QCheck QCheck_alcotest Set

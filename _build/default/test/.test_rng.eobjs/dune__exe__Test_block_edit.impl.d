@@ -1,0 +1,1 @@
+test/test_block_edit.ml: Alcotest Alphabet Block_edit Edit_distance Gen QCheck QCheck_alcotest Sequence String

@@ -1,0 +1,1 @@
+test/test_classifier.ml: Alcotest Alphabet Array Classifier Cluseq Filename Fun Hashtbl List Option Printf Pst Rng Seq_database Sequence Sys Workload

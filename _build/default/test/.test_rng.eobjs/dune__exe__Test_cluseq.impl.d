@@ -1,0 +1,1 @@
+test/test_cluseq.ml: Alcotest Alphabet Array Cluseq Float Fun Gen List Matching Metrics Order Printf QCheck QCheck_alcotest Seq_database Workload

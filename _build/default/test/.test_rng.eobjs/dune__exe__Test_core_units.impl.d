@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Alphabet Array Cluster Fun List Order Pst Rng Sequence Similarity Threshold

@@ -1,0 +1,1 @@
+test/test_divergence.ml: Alcotest Alphabet Divergence Float Gen List Pst QCheck QCheck_alcotest Sequence

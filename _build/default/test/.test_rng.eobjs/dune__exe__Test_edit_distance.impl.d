@@ -1,0 +1,1 @@
+test/test_edit_distance.ml: Alcotest Alphabet Edit_distance Gen QCheck QCheck_alcotest Sequence String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Float Gen List Matching Metrics Printf QCheck QCheck_alcotest Rng

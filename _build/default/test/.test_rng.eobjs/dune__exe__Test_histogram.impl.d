@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Float Gen Histogram List Printf QCheck QCheck_alcotest

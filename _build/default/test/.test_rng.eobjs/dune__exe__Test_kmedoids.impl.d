@@ -1,0 +1,1 @@
+test/test_kmedoids.ml: Alcotest Array Float Kmedoids List Printf QCheck QCheck_alcotest Rng

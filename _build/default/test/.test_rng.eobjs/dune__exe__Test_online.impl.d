@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Cluseq Hashtbl List Online Option Printf Rng Seq_database Workload

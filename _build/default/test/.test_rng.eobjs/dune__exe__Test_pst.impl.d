@@ -1,0 +1,1 @@
+test/test_pst.ml: Alcotest Alphabet Array Buffer Char Float Format Gen List Printf Pruning Pst QCheck QCheck_alcotest Sequence String

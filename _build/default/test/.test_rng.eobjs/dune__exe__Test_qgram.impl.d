@@ -1,0 +1,1 @@
+test/test_qgram.ml: Alcotest Alphabet Array Float Gen List QCheck QCheck_alcotest Qgram Rng Sequence String

@@ -1,0 +1,1 @@
+test/test_seqdb.ml: Alcotest Alphabet Array Filename Float Fun Gen List QCheck QCheck_alcotest Seq_database Seq_io Sequence String Sys

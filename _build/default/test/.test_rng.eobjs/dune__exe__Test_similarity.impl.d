@@ -1,0 +1,1 @@
+test/test_similarity.ml: Alcotest Alphabet Array Float Gen List Pst QCheck QCheck_alcotest Sequence Similarity

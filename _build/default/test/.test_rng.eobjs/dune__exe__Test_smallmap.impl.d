@@ -1,0 +1,1 @@
+test/test_smallmap.ml: Alcotest Array Fun Hashtbl List Option QCheck QCheck_alcotest Smallmap

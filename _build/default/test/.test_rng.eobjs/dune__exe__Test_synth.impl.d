@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Alphabet Array Float Hashtbl Language_sim List Option Printf Protein_sim Pst_gen Qgram Rng Seq_database String Workload

@@ -1,0 +1,131 @@
+(* Tests for the divergence-based agglomerative clusterer (the paper's
+   Sec. 2 "rejected alternative"). *)
+
+let alpha = Alphabet.lowercase
+
+let two_style_db ?(per = 8) () =
+  (* ab-alternators vs cd-alternators, slight per-sequence noise. *)
+  let rng = Rng.create 3 in
+  let mk pair =
+    String.init 60 (fun i ->
+        if Rng.float rng 1.0 < 0.05 then Char.chr (97 + Rng.int rng 26)
+        else if i mod 2 = 0 then pair.[0]
+        else pair.[1])
+  in
+  let rows = List.init per (fun _ -> (0, mk "ab")) @ List.init per (fun _ -> (1, mk "cd")) in
+  let db = Seq_database.of_strings alpha (List.map snd rows) in
+  (db, Array.of_list (List.map fst rows))
+
+let test_recovers_two_styles () =
+  let db, truth = two_style_db () in
+  List.iter
+    (fun measure ->
+      let labels = Agglomerative.cluster ~measure ~k:2 db in
+      let ari = Metrics.adjusted_rand_index ~truth ~pred:labels in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "perfect split (%s)"
+           (match measure with Agglomerative.Variational -> "variational" | Kl_symmetric -> "kl"))
+        1.0 ari)
+    [ Agglomerative.Variational; Agglomerative.Kl_symmetric ]
+
+let test_all_linkages_run () =
+  let db, truth = two_style_db ~per:5 () in
+  List.iter
+    (fun linkage ->
+      let labels = Agglomerative.cluster ~linkage ~k:2 db in
+      Alcotest.(check bool) "labels in range" true (Array.for_all (fun l -> l = 0 || l = 1) labels);
+      let ari = Metrics.adjusted_rand_index ~truth ~pred:labels in
+      Alcotest.(check bool) (Printf.sprintf "ari %.2f > 0.5" ari) true (ari > 0.5))
+    [ Agglomerative.Single; Complete; Average ]
+
+let test_k_equals_n () =
+  let db, _ = two_style_db ~per:3 () in
+  let labels = Agglomerative.cluster ~k:6 db in
+  let distinct = List.sort_uniq compare (Array.to_list labels) in
+  Alcotest.(check int) "all singletons" 6 (List.length distinct)
+
+let test_k_one () =
+  let db, _ = two_style_db ~per:3 () in
+  let labels = Agglomerative.cluster ~k:1 db in
+  Alcotest.(check bool) "single cluster" true (Array.for_all (fun l -> l = 0) labels)
+
+let test_invalid_k () =
+  let db, _ = two_style_db ~per:2 () in
+  Alcotest.(check bool) "k = 0" true
+    (try ignore (Agglomerative.cluster ~k:0 db); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "k > n" true
+    (try ignore (Agglomerative.cluster ~k:100 db); false with Invalid_argument _ -> true)
+
+(* --- purity / NMI ------------------------------------------------------ *)
+
+let test_purity () =
+  let truth = [| 0; 0; 1; 1 |] in
+  Alcotest.(check (float 1e-9)) "perfect" 1.0 (Metrics.purity ~truth ~pred:[| 5; 5; 7; 7 |]);
+  Alcotest.(check (float 1e-9)) "one mixed cluster" 0.75
+    (Metrics.purity ~truth ~pred:[| 5; 5; 5; 7 |]);
+  Alcotest.(check (float 1e-9)) "all singletons are pure" 1.0
+    (Metrics.purity ~truth ~pred:[| 1; 2; 3; 4 |])
+
+let test_nmi () =
+  let truth = [| 0; 0; 1; 1; 2; 2 |] in
+  Alcotest.(check (float 1e-9)) "identical = 1" 1.0
+    (Metrics.normalized_mutual_information ~truth ~pred:truth);
+  Alcotest.(check (float 1e-9)) "renaming invariant" 1.0
+    (Metrics.normalized_mutual_information ~truth ~pred:[| 7; 7; 3; 3; 9; 9 |]);
+  Alcotest.(check (float 1e-9)) "single cluster = 0" 0.0
+    (Metrics.normalized_mutual_information ~truth ~pred:[| 0; 0; 0; 0; 0; 0 |]);
+  let mixed = Metrics.normalized_mutual_information ~truth ~pred:[| 0; 0; 0; 1; 1; 1 |] in
+  Alcotest.(check bool) "partial agreement strictly between" true (mixed > 0.0 && mixed < 1.0)
+
+let test_nmi_independent_near_zero () =
+  let rng = Rng.create 11 in
+  let n = 4000 in
+  let truth = Array.init n (fun _ -> Rng.int rng 4) in
+  let pred = Array.init n (fun _ -> Rng.int rng 4) in
+  let nmi = Metrics.normalized_mutual_information ~truth ~pred in
+  Alcotest.(check bool) (Printf.sprintf "independent ~ 0 (got %.4f)" nmi) true (nmi < 0.02)
+
+let labels_gen = QCheck.(list_of_size (Gen.int_range 2 60) (int_range 0 4))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"purity and NMI within [0,1]" ~count:300
+         (QCheck.pair labels_gen labels_gen)
+         (fun (t, p) ->
+           let n = min (List.length t) (List.length p) in
+           let truth = Array.of_list (List.filteri (fun i _ -> i < n) t) in
+           let pred = Array.of_list (List.filteri (fun i _ -> i < n) p) in
+           let pu = Metrics.purity ~truth ~pred in
+           let nmi = Metrics.normalized_mutual_information ~truth ~pred in
+           pu >= 0.0 && pu <= 1.0 && nmi >= -1e-9 && nmi <= 1.0 +. 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"purity never below 1/k for k true classes... at least 1/n" ~count:300
+         labels_gen
+         (fun t ->
+           let truth = Array.of_list t in
+           (* Predicting everything into one cluster gives purity =
+              (size of biggest class)/n >= 1/n. *)
+           let pred = Array.make (Array.length truth) 0 in
+           Metrics.purity ~truth ~pred >= 1.0 /. float_of_int (Array.length truth)));
+  ]
+
+let () =
+  Alcotest.run "agglomerative"
+    [
+      ( "clustering",
+        [
+          Alcotest.test_case "recovers two styles" `Quick test_recovers_two_styles;
+          Alcotest.test_case "all linkages" `Quick test_all_linkages_run;
+          Alcotest.test_case "k = n" `Quick test_k_equals_n;
+          Alcotest.test_case "k = 1" `Quick test_k_one;
+          Alcotest.test_case "invalid k" `Quick test_invalid_k;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "purity" `Quick test_purity;
+          Alcotest.test_case "NMI" `Quick test_nmi;
+          Alcotest.test_case "NMI independent" `Quick test_nmi_independent_near_zero;
+        ] );
+      ("property", qcheck_tests);
+    ]

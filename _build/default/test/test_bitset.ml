@@ -1,0 +1,117 @@
+(* Tests for Bitset, including a property check against a Set-based model. *)
+
+module IntSet = Set.Make (Int)
+
+let test_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check bool) "initially empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem b 1);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check int) "cardinal after remove" 3 (Bitset.cardinal b)
+
+let test_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "add out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add b 10);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.add b (-1))
+
+let test_add_idempotent () =
+  let b = Bitset.create 10 in
+  Bitset.add b 5;
+  Bitset.add b 5;
+  Alcotest.(check int) "double add counts once" 1 (Bitset.cardinal b)
+
+let test_union_diff_inter () =
+  let a = Bitset.of_list 50 [ 1; 2; 3; 10 ] in
+  let b = Bitset.of_list 50 [ 3; 10; 20 ] in
+  Alcotest.(check int) "diff |a\\b|" 2 (Bitset.diff_cardinal a b);
+  Alcotest.(check int) "diff |b\\a|" 1 (Bitset.diff_cardinal b a);
+  Alcotest.(check int) "inter" 2 (Bitset.inter_cardinal a b);
+  let dst = Bitset.copy a in
+  Bitset.union_into ~dst b;
+  Alcotest.(check int) "union cardinal" 5 (Bitset.cardinal dst)
+
+let test_capacity_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 20 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: capacity mismatch") (fun () ->
+      ignore (Bitset.diff_cardinal a b))
+
+let test_to_list_sorted () =
+  let b = Bitset.of_list 100 [ 70; 3; 3; 42 ] in
+  Alcotest.(check (list int)) "sorted unique" [ 3; 42; 70 ] (Bitset.to_list b)
+
+let test_iter_order () =
+  let b = Bitset.of_list 100 [ 9; 1; 62; 63 ] in
+  let acc = ref [] in
+  Bitset.iter (fun i -> acc := i :: !acc) b;
+  Alcotest.(check (list int)) "increasing order" [ 1; 9; 62; 63 ] (List.rev !acc)
+
+let test_clear_and_equal () =
+  let a = Bitset.of_list 30 [ 1; 5 ] and b = Bitset.of_list 30 [ 1; 5 ] in
+  Alcotest.(check bool) "equal" true (Bitset.equal a b);
+  Bitset.clear a;
+  Alcotest.(check bool) "cleared differs" false (Bitset.equal a b);
+  Alcotest.(check bool) "cleared empty" true (Bitset.is_empty a)
+
+let ops_gen =
+  (* A sequence of add/remove operations over [0, 64*3) to cross word
+     boundaries. *)
+  QCheck.(list (pair bool (int_range 0 191)))
+
+let apply_ops ops =
+  let b = Bitset.create 192 in
+  let m = ref IntSet.empty in
+  List.iter
+    (fun (add, i) ->
+      if add then begin
+        Bitset.add b i;
+        m := IntSet.add i !m
+      end
+      else begin
+        Bitset.remove b i;
+        m := IntSet.remove i !m
+      end)
+    ops;
+  (b, !m)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"model: cardinal and members" ~count:300 ops_gen (fun ops ->
+           let b, m = apply_ops ops in
+           Bitset.cardinal b = IntSet.cardinal m
+           && List.for_all (fun i -> Bitset.mem b i = IntSet.mem i m)
+                (List.init 192 Fun.id)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"model: diff and inter cardinals" ~count:300
+         (QCheck.pair ops_gen ops_gen)
+         (fun (ops1, ops2) ->
+           let b1, m1 = apply_ops ops1 and b2, m2 = apply_ops ops2 in
+           Bitset.diff_cardinal b1 b2 = IntSet.cardinal (IntSet.diff m1 m2)
+           && Bitset.inter_cardinal b1 b2 = IntSet.cardinal (IntSet.inter m1 m2)));
+  ]
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "idempotent add" `Quick test_add_idempotent;
+          Alcotest.test_case "union/diff/inter" `Quick test_union_diff_inter;
+          Alcotest.test_case "capacity mismatch" `Quick test_capacity_mismatch;
+          Alcotest.test_case "to_list sorted" `Quick test_to_list_sorted;
+          Alcotest.test_case "iter order" `Quick test_iter_order;
+          Alcotest.test_case "clear and equal" `Quick test_clear_and_equal;
+        ] );
+      ("property", qcheck_tests);
+    ]

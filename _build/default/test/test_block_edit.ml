@@ -1,0 +1,89 @@
+(* Tests for the greedy block-edit distance (EDBO baseline). *)
+
+let alpha = Alphabet.lowercase
+let enc = Sequence.of_string alpha
+
+let test_identical_is_one_block () =
+  (* A perfect copy is covered by a single block move. *)
+  Alcotest.(check int) "one block" 1 (Block_edit.distance (enc "abcdefgh") (enc "abcdefgh"))
+
+let test_block_rearrangement_is_cheap () =
+  (* The paper's motivating example: aaaabbb vs bbbaaaa is just two block
+     moves — far cheaper than its edit distance of 6. *)
+  let d = Block_edit.distance (enc "aaaabbb") (enc "bbbaaaa") in
+  Alcotest.(check int) "two blocks" 2 d;
+  Alcotest.(check bool) "cheaper than plain ED" true
+    (d < Edit_distance.distance (enc "aaaabbb") (enc "bbbaaaa"))
+
+let test_unrelated_pays_per_symbol () =
+  (* No common substring of length >= 3: every symbol is uncovered. *)
+  let d = Block_edit.distance (enc "aaaa") (enc "bbbb") in
+  Alcotest.(check int) "all symbols uncovered" 8 d
+
+let test_min_block_effect () =
+  (* With a large min_block, short shared runs no longer count. *)
+  let a = enc "abcxyz" and b = enc "xyzabc" in
+  let small = Block_edit.distance ~min_block:3 a b in
+  let large = Block_edit.distance ~min_block:5 a b in
+  Alcotest.(check int) "two 3-blocks" 2 small;
+  Alcotest.(check int) "nothing covered" 12 large
+
+let test_block_cost_scales () =
+  let a = enc "abcdefgh" and b = enc "abcdefgh" in
+  Alcotest.(check int) "block cost 3" 3 (Block_edit.distance ~block_cost:3 a b)
+
+let test_empty () =
+  Alcotest.(check int) "both empty" 0 (Block_edit.distance [||] [||]);
+  Alcotest.(check int) "one empty" 4 (Block_edit.distance [||] (enc "abcd"))
+
+let test_normalized_bounds () =
+  Alcotest.(check (float 1e-9)) "empty pair" 0.0 (Block_edit.normalized [||] [||]);
+  let v = Block_edit.normalized (enc "aaaa") (enc "bbbb") in
+  Alcotest.(check (float 1e-9)) "nothing shared = 1" 1.0 v
+
+let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 0 25) (Gen.char_range 'a' 'c'))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"symmetry" ~count:200 (QCheck.pair seq_gen seq_gen)
+         (fun (a, b) -> Block_edit.distance (enc a) (enc b) = Block_edit.distance (enc b) (enc a)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"bounded by total length" ~count:200 (QCheck.pair seq_gen seq_gen)
+         (fun (a, b) ->
+           let d = Block_edit.distance (enc a) (enc b) in
+           d >= 0 && d <= String.length a + String.length b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"self distance minimal" ~count:200 seq_gen (fun s ->
+           let d = Block_edit.distance (enc s) (enc s) in
+           if String.length s = 0 then d = 0
+           else if String.length s < 3 then d = 2 * String.length s
+           else d = 1));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"block rearrangement never beaten by ED on swapped halves" ~count:100
+         (QCheck.pair
+            (QCheck.string_gen_of_size (QCheck.Gen.int_range 4 12) (QCheck.Gen.char_range 'a' 'b'))
+            (QCheck.string_gen_of_size (QCheck.Gen.int_range 4 12) (QCheck.Gen.char_range 'c' 'd')))
+         (fun (x, y) ->
+           (* For s = x·y vs y·x, block edit pays <= 2 blocks, ED pays at
+              least min(|x|,|y|) single-symbol operations. *)
+           let a = enc (x ^ y) and b = enc (y ^ x) in
+           Block_edit.distance a b <= 2
+           && Edit_distance.distance a b >= min (String.length x) (String.length y)));
+  ]
+
+let () =
+  Alcotest.run "block-edit"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "identical" `Quick test_identical_is_one_block;
+          Alcotest.test_case "rearrangement cheap" `Quick test_block_rearrangement_is_cheap;
+          Alcotest.test_case "unrelated" `Quick test_unrelated_pays_per_symbol;
+          Alcotest.test_case "min_block" `Quick test_min_block_effect;
+          Alcotest.test_case "block cost" `Quick test_block_cost_scales;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "normalized" `Quick test_normalized_bounds;
+        ] );
+      ("property", qcheck_tests);
+    ]

@@ -1,0 +1,273 @@
+(* Integration tests for the full CLUSEQ algorithm. *)
+
+let small_workload ?(seed = 3) ?(n = 200) ?(k = 4) () =
+  Workload.generate
+    {
+      Workload.default_params with
+      n_sequences = n;
+      avg_length = 250;
+      n_clusters = k;
+      contexts_per_cluster = 120;
+      concentration = 0.15;
+      seed;
+    }
+
+let small_config =
+  {
+    Cluseq.default_config with
+    k_init = 2;
+    significance = 8;
+    min_residual = Some 8;
+    t_init = 1.2;
+    max_iterations = 30;
+  }
+
+let run_small () =
+  let w = small_workload () in
+  (w, Cluseq.run ~config:small_config w.db)
+
+let test_recovers_planted_clusters () =
+  let w, res = run_small () in
+  Alcotest.(check bool)
+    (Printf.sprintf "cluster count near truth (got %d)" res.n_clusters)
+    true
+    (abs (res.n_clusters - 4) <= 1);
+  let hard = Cluseq.hard_labels res ~n:(Seq_database.n_sequences w.db) in
+  let ari = Metrics.adjusted_rand_index ~truth:w.labels ~pred:hard in
+  Alcotest.(check bool) (Printf.sprintf "ARI > 0.6 (got %.3f)" ari) true (ari > 0.6)
+
+let test_deterministic () =
+  let w = small_workload () in
+  let r1 = Cluseq.run ~config:small_config w.db in
+  let r2 = Cluseq.run ~config:small_config w.db in
+  Alcotest.(check int) "same cluster count" r1.n_clusters r2.n_clusters;
+  Alcotest.(check int) "same iterations" r1.iterations r2.iterations;
+  Alcotest.(check bool) "same assignments" true (r1.assignments = r2.assignments)
+
+let test_seed_changes_run () =
+  let w = small_workload () in
+  let r1 = Cluseq.run ~config:small_config w.db in
+  let r2 = Cluseq.run ~config:{ small_config with seed = 99 } w.db in
+  (* Different seeds explore different paths; at minimum the histories
+     should differ (they may still converge to the same clustering). *)
+  Alcotest.(check bool) "some difference in trajectory" true
+    (r1.history <> r2.history || r1.assignments <> r2.assignments)
+
+let test_result_invariants () =
+  let w, res = run_small () in
+  let n = Seq_database.n_sequences w.db in
+  (* Assignments and cluster member lists are two views of one relation. *)
+  Array.iter
+    (fun (id, members) ->
+      Array.iter
+        (fun sid ->
+          Alcotest.(check bool) "member has assignment" true (List.mem id res.assignments.(sid)))
+        members)
+    res.clusters;
+  Array.iteri
+    (fun sid cls ->
+      List.iter
+        (fun c ->
+          let _, members =
+            Array.to_list res.clusters |> List.find (fun (id, _) -> id = c)
+          in
+          Alcotest.(check bool) "assignment has member" true (Array.mem sid members))
+        cls)
+    res.assignments;
+  (* Outliers are exactly the unassigned sequences. *)
+  let unassigned = List.filter (fun i -> res.assignments.(i) = []) (List.init n Fun.id) in
+  Alcotest.(check (list int)) "outliers" unassigned res.outliers;
+  Alcotest.(check int) "n_clusters consistent" (Array.length res.clusters) res.n_clusters;
+  Alcotest.(check bool) "iterations within cap" true
+    (res.iterations >= 1 && res.iterations <= small_config.max_iterations);
+  Alcotest.(check int) "history length" res.iterations (List.length res.history)
+
+let test_insensitive_to_k_init () =
+  (* Paper Table 5: the final clustering is insensitive to the initial k. *)
+  let w = small_workload ~seed:5 () in
+  let counts =
+    List.map
+      (fun k_init ->
+        (Cluseq.run ~config:{ small_config with k_init } w.db).n_clusters)
+      [ 1; 4; 10 ]
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Printf.sprintf "k=%d near 4" k) true (abs (k - 4) <= 1))
+    counts
+
+let test_threshold_converges_from_varied_inits () =
+  (* Paper Table 6: the final t is insensitive to the initial t. *)
+  let w = small_workload ~seed:7 () in
+  let finals =
+    List.map
+      (fun t_init ->
+        log (Cluseq.run ~config:{ small_config with t_init } w.db).final_t)
+      [ 1.05; 2.0; 20.0 ]
+  in
+  match finals with
+  | [ a; b; c ] ->
+      let spread = Float.max a (Float.max b c) -. Float.min a (Float.min b c) in
+      (* All runs must land in the same order of magnitude (log spread
+         bounded), far tighter than the e^0.05 .. e^3 initial spread. *)
+      Alcotest.(check bool) (Printf.sprintf "final t spread %.1f bounded" spread) true (spread < 100.0)
+  | _ -> assert false
+
+let test_outliers_detected () =
+  let w =
+    Workload.generate
+      {
+        Workload.default_params with
+        n_sequences = 200;
+        avg_length = 250;
+        n_clusters = 3;
+        contexts_per_cluster = 120;
+        concentration = 0.15;
+        outlier_fraction = 0.10;
+        seed = 13;
+      }
+  in
+  let res = Cluseq.run ~config:small_config w.db in
+  let hard = Cluseq.hard_labels res ~n:(Seq_database.n_sequences w.db) in
+  let pred_class = Matching.relabel ~truth:w.labels ~pred:hard in
+  let det = Metrics.outlier_detection ~truth:w.labels ~pred_class in
+  Alcotest.(check bool) (Printf.sprintf "outlier recall %.2f > 0.5" det.recall) true (det.recall > 0.5)
+
+let test_no_consolidation_keeps_more_clusters () =
+  let w = small_workload () in
+  let with_c = Cluseq.run ~config:small_config w.db in
+  let without_c = Cluseq.run ~config:{ small_config with consolidate = false } w.db in
+  Alcotest.(check bool) "consolidation prunes clusters" true
+    (without_c.n_clusters >= with_c.n_clusters)
+
+let test_fixed_threshold_mode () =
+  let w = small_workload () in
+  let res = Cluseq.run ~config:{ small_config with adjust_threshold = false; t_init = 5.0 } w.db in
+  Alcotest.(check (float 1e-9)) "t unchanged when adjustment off" 5.0 res.final_t
+
+let test_orders_all_run () =
+  let w = small_workload ~n:120 () in
+  List.iter
+    (fun order ->
+      let res = Cluseq.run ~config:{ small_config with order } w.db in
+      Alcotest.(check bool) (Order.to_string order ^ " produced clusters") true (res.n_clusters >= 1))
+    [ Order.Fixed; Order.Random; Order.Cluster_based ]
+
+let test_scaled_config () =
+  let c = Cluseq.scaled_config ~expected_cluster_size:40 () in
+  Alcotest.(check int) "c = size/4" 10 c.significance;
+  Alcotest.(check (option int)) "residual follows" (Some 10) c.min_residual;
+  let tiny = Cluseq.scaled_config ~expected_cluster_size:3 () in
+  Alcotest.(check int) "floored at 4" 4 tiny.significance;
+  let huge = Cluseq.scaled_config ~expected_cluster_size:100000 () in
+  Alcotest.(check int) "capped at paper's 30" 30 huge.significance;
+  Alcotest.(check bool) "invalid size rejected" true
+    (try ignore (Cluseq.scaled_config ~expected_cluster_size:0 ()); false
+     with Invalid_argument _ -> true)
+
+let test_config_validation () =
+  let w = small_workload ~n:120 () in
+  Alcotest.(check bool) "k_init 0 rejected" true
+    (try ignore (Cluseq.run ~config:{ small_config with k_init = 0 } w.db); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "t < 1 rejected" true
+    (try ignore (Cluseq.run ~config:{ small_config with t_init = 0.9 } w.db); false
+     with Invalid_argument _ -> true)
+
+let test_tiny_database () =
+  let alpha = Alphabet.lowercase in
+  let db = Seq_database.of_strings alpha [ "ababab"; "bababa"; "cdcdcd" ] in
+  let res =
+    Cluseq.run
+      ~config:{ small_config with significance = 2; min_residual = Some 1; k_init = 1 }
+      db
+  in
+  Alcotest.(check bool) "tiny database runs" true (res.n_clusters >= 1)
+
+let test_single_sequence () =
+  let alpha = Alphabet.lowercase in
+  let db = Seq_database.of_strings alpha [ "abcabc" ] in
+  let res =
+    Cluseq.run ~config:{ small_config with significance = 2; min_residual = Some 1 } db
+  in
+  Alcotest.(check bool) "single sequence runs" true (res.iterations >= 1)
+
+let test_hard_labels () =
+  let w, res = run_small () in
+  let n = Seq_database.n_sequences w.db in
+  let hard = Cluseq.hard_labels res ~n in
+  Array.iteri
+    (fun i l ->
+      if res.assignments.(i) = [] then Alcotest.(check int) "outlier label" (-1) l
+      else Alcotest.(check bool) "label among joined" true (List.mem l res.assignments.(i)))
+    hard
+
+let test_history_consistency () =
+  let _, res = run_small () in
+  let last = List.nth res.history (List.length res.history - 1) in
+  Alcotest.(check int) "final cluster count matches history" res.n_clusters last.clusters;
+  Alcotest.(check (float 1e-9)) "final t matches history" res.final_t last.threshold;
+  List.iteri
+    (fun i (h : Cluseq.iteration_stats) ->
+      Alcotest.(check int) "iterations numbered from 1" (i + 1) h.iteration)
+    res.history
+
+(* Robustness: CLUSEQ must terminate and return a consistent result on
+   arbitrary small databases — including degenerate ones with repeated,
+   constant, or single-symbol sequences. *)
+let qcheck_tests =
+  let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 1 30) (Gen.char_range 'a' 'c')) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"terminates with consistent result on arbitrary input" ~count:60
+         QCheck.(pair (list_of_size (Gen.int_range 1 12) seq_gen) small_int)
+         (fun (texts, seed) ->
+           let db = Seq_database.of_strings Alphabet.lowercase texts in
+           let config =
+             {
+               small_config with
+               significance = 2;
+               min_residual = Some 1;
+               max_iterations = 10;
+               seed;
+             }
+           in
+           let res = Cluseq.run ~config db in
+           let n = Seq_database.n_sequences db in
+           res.iterations >= 1
+           && res.n_clusters = Array.length res.clusters
+           && List.for_all (fun i -> res.assignments.(i) = []) res.outliers
+           && Array.for_all
+                (fun (id, members) ->
+                  Array.for_all (fun sid -> List.mem id res.assignments.(sid)) members)
+                res.clusters
+           && Array.length res.best = n));
+  ]
+
+let () =
+  Alcotest.run "cluseq"
+    [
+      ( "integration",
+        [
+          Alcotest.test_case "recovers planted clusters" `Slow test_recovers_planted_clusters;
+          Alcotest.test_case "deterministic" `Slow test_deterministic;
+          Alcotest.test_case "seed changes run" `Slow test_seed_changes_run;
+          Alcotest.test_case "result invariants" `Slow test_result_invariants;
+          Alcotest.test_case "insensitive to k_init" `Slow test_insensitive_to_k_init;
+          Alcotest.test_case "threshold converges" `Slow test_threshold_converges_from_varied_inits;
+          Alcotest.test_case "outliers detected" `Slow test_outliers_detected;
+          Alcotest.test_case "consolidation effect" `Slow test_no_consolidation_keeps_more_clusters;
+          Alcotest.test_case "fixed threshold mode" `Slow test_fixed_threshold_mode;
+          Alcotest.test_case "all orders run" `Slow test_orders_all_run;
+        ] );
+      ("property", qcheck_tests);
+      ( "edge-cases",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "scaled config" `Quick test_scaled_config;
+          Alcotest.test_case "tiny database" `Quick test_tiny_database;
+          Alcotest.test_case "single sequence" `Quick test_single_sequence;
+          Alcotest.test_case "hard labels" `Slow test_hard_labels;
+          Alcotest.test_case "history consistency" `Slow test_history_consistency;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Unit tests for the smaller core modules: Cluster, Threshold, Order. *)
+
+let alpha = Alphabet.lowercase
+
+let pst_cfg : Pst.config =
+  { (Pst.default_config ~alphabet_size:26) with significance = 2; p_min = 0.0 }
+
+(* --- Cluster --------------------------------------------------------- *)
+
+let test_cluster_create () =
+  let seed = Sequence.of_string alpha "ababab" in
+  let cl = Cluster.create ~id:7 ~capacity:10 pst_cfg seed in
+  Alcotest.(check int) "id" 7 (Cluster.id cl);
+  Alcotest.(check int) "no members yet" 0 (Cluster.size cl);
+  Alcotest.(check int) "PST holds the seed" 6 (Pst.total_count (Cluster.pst cl))
+
+let test_cluster_membership () =
+  let cl = Cluster.create ~id:0 ~capacity:10 pst_cfg (Sequence.of_string alpha "ab") in
+  Cluster.add_member cl 3;
+  Cluster.add_member cl 5;
+  Alcotest.(check int) "size" 2 (Cluster.size cl);
+  Alcotest.(check bool) "mem" true (Cluster.mem cl 3);
+  Cluster.clear_members cl;
+  Alcotest.(check int) "cleared" 0 (Cluster.size cl);
+  Alcotest.(check bool) "PST survives clear" true (Pst.total_count (Cluster.pst cl) > 0)
+
+let test_cluster_absorb_updates_pst () =
+  let cl = Cluster.create ~id:0 ~capacity:10 pst_cfg (Sequence.of_string alpha "ababab") in
+  let before = Pst.total_count (Cluster.pst cl) in
+  let s = Sequence.of_string alpha "ccababcc" in
+  (* Pretend the best segment is positions 2..5 ("abab"). *)
+  Cluster.absorb cl ~seq_id:1 s { Similarity.log_sim = 1.0; seg_lo = 2; seg_hi = 5 };
+  Alcotest.(check bool) "member added" true (Cluster.mem cl 1);
+  Alcotest.(check int) "only the segment inserted" (before + 4)
+    (Pst.total_count (Cluster.pst cl))
+
+let test_cluster_similarity_prefers_own_style () =
+  let lbg = Array.make 26 (log (1.0 /. 26.0)) in
+  let cl = Cluster.create ~id:0 ~capacity:10 pst_cfg (Sequence.of_string alpha "abababababab") in
+  let like = Cluster.similarity cl ~log_background:lbg (Sequence.of_string alpha "abab") in
+  let unlike = Cluster.similarity cl ~log_background:lbg (Sequence.of_string alpha "zqvk") in
+  Alcotest.(check bool) "own style wins" true (like.log_sim > unlike.log_sim)
+
+(* --- Threshold ------------------------------------------------------- *)
+
+let test_threshold_create () =
+  let t = Threshold.create ~t_init:2.0 in
+  Alcotest.(check (float 1e-9)) "log t" (log 2.0) (Threshold.log_t t);
+  Alcotest.(check (float 1e-9)) "linear t" 2.0 (Threshold.linear_t t);
+  Alcotest.(check bool) "not frozen" false (Threshold.frozen t);
+  Alcotest.(check bool) "t < 1 rejected" true
+    (try ignore (Threshold.create ~t_init:0.5); false with Invalid_argument _ -> true)
+
+let test_threshold_moves_toward_valley () =
+  let t = Threshold.create ~t_init:1.0 in
+  (* Bimodal: low mass near 1, high mass near 30 → valley somewhere in
+     (5, 30); t must move right. *)
+  let samples =
+    Array.concat
+      [ Array.init 500 (fun i -> 1.0 +. (float_of_int (i mod 30) /. 10.0));
+        Array.init 60 (fun i -> 30.0 +. float_of_int (i mod 10)) ]
+  in
+  let before = Threshold.log_t t in
+  Threshold.adjust t samples;
+  Alcotest.(check bool) "moved up" true (Threshold.log_t t > before)
+
+let test_threshold_halfway_step () =
+  let t = Threshold.create ~t_init:1.0 in
+  let samples =
+    Array.concat
+      [ Array.init 500 (fun i -> 1.0 +. (float_of_int (i mod 30) /. 10.0));
+        Array.init 60 (fun i -> 30.0 +. float_of_int (i mod 10)) ]
+  in
+  Threshold.adjust t samples;
+  let after_one = Threshold.log_t t in
+  (* The paper's update is t <- (t + t̂)/2: from 0 the new t is v/2, so the
+     implied valley is 2·t. A second adjust with the same samples moves t
+     to (v/2 + v)/2 = 3v/4. *)
+  Threshold.adjust t samples;
+  let after_two = Threshold.log_t t in
+  Alcotest.(check (float 1e-6)) "halfway dynamics" (1.5 *. after_one) after_two
+
+let test_threshold_freezes () =
+  let t = Threshold.create ~t_init:1.0 in
+  let samples =
+    Array.concat
+      [ Array.init 500 (fun i -> 1.0 +. (float_of_int (i mod 30) /. 10.0));
+        Array.init 60 (fun i -> 30.0 +. float_of_int (i mod 10)) ]
+  in
+  for _ = 1 to 100 do
+    Threshold.adjust t samples
+  done;
+  Alcotest.(check bool) "eventually frozen" true (Threshold.frozen t);
+  let frozen_at = Threshold.log_t t in
+  Threshold.adjust t (Array.map (fun x -> x +. 100.0) samples);
+  Alcotest.(check (float 1e-12)) "frozen ignores new samples" frozen_at (Threshold.log_t t)
+
+let test_threshold_ignores_tiny_or_infinite_samples () =
+  let t = Threshold.create ~t_init:2.0 in
+  Threshold.adjust t [| 1.0; 2.0; neg_infinity |];
+  Alcotest.(check (float 1e-12)) "fewer than 10 finite samples: no-op" (log 2.0)
+    (Threshold.log_t t)
+
+let test_threshold_never_below_one () =
+  let t = Threshold.create ~t_init:1.0 in
+  (* All samples negative in log space: valley would be < 0 but t is
+     clamped at log 1 = 0 (paper: t >= 1). *)
+  let samples = Array.init 100 (fun i -> -10.0 +. float_of_int (i mod 5)) in
+  for _ = 1 to 10 do
+    Threshold.adjust t samples
+  done;
+  Alcotest.(check bool) "clamped at 1" true (Threshold.log_t t >= 0.0)
+
+(* --- Order ----------------------------------------------------------- *)
+
+let no_best n : (int * float) option array = Array.make n None
+
+let test_order_fixed () =
+  let rng = Rng.create 1 in
+  let order = Order.arrange Order.Fixed rng ~n:5 ~best:(no_best 5) in
+  Alcotest.(check (array int)) "identity" [| 0; 1; 2; 3; 4 |] order
+
+let test_order_random_is_permutation () =
+  let rng = Rng.create 2 in
+  let order = Order.arrange Order.Random rng ~n:100 ~best:(no_best 100) in
+  let sorted = Array.copy order in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted;
+  Alcotest.(check bool) "actually shuffled" true (order <> Array.init 100 Fun.id)
+
+let test_order_random_varies_between_calls () =
+  let rng = Rng.create 3 in
+  let o1 = Order.arrange Order.Random rng ~n:50 ~best:(no_best 50) in
+  let o2 = Order.arrange Order.Random rng ~n:50 ~best:(no_best 50) in
+  Alcotest.(check bool) "fresh permutation each iteration" true (o1 <> o2)
+
+let test_order_cluster_based () =
+  let rng = Rng.create 4 in
+  let best : (int * float) option array =
+    [| Some (2, 0.0); None; Some (1, 0.0); Some (2, 0.0); Some (1, 0.0) |]
+  in
+  let order = Order.arrange Order.Cluster_based rng ~n:5 ~best in
+  (* Cluster 1 members (2,4) first, then cluster 2 members (0,3), then the
+     unclustered (1); stable within groups. *)
+  Alcotest.(check (array int)) "grouped by cluster" [| 2; 4; 0; 3; 1 |] order
+
+let test_order_names () =
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Order.to_string o ^ " roundtrip")
+        true
+        (Order.of_string (Order.to_string o) = Some o))
+    [ Order.Fixed; Order.Random; Order.Cluster_based ];
+  Alcotest.(check bool) "unknown name" true (Order.of_string "bogus" = None)
+
+let () =
+  Alcotest.run "core-units"
+    [
+      ( "cluster",
+        [
+          Alcotest.test_case "create" `Quick test_cluster_create;
+          Alcotest.test_case "membership" `Quick test_cluster_membership;
+          Alcotest.test_case "absorb updates PST" `Quick test_cluster_absorb_updates_pst;
+          Alcotest.test_case "similarity" `Quick test_cluster_similarity_prefers_own_style;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "create" `Quick test_threshold_create;
+          Alcotest.test_case "moves toward valley" `Quick test_threshold_moves_toward_valley;
+          Alcotest.test_case "halfway dynamics" `Quick test_threshold_halfway_step;
+          Alcotest.test_case "freezes" `Quick test_threshold_freezes;
+          Alcotest.test_case "ignores sparse samples" `Quick
+            test_threshold_ignores_tiny_or_infinite_samples;
+          Alcotest.test_case "never below 1" `Quick test_threshold_never_below_one;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "fixed" `Quick test_order_fixed;
+          Alcotest.test_case "random permutation" `Quick test_order_random_is_permutation;
+          Alcotest.test_case "random varies" `Quick test_order_random_varies_between_calls;
+          Alcotest.test_case "cluster-based" `Quick test_order_cluster_based;
+          Alcotest.test_case "names" `Quick test_order_names;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+(* Tests for the edit-distance baseline. *)
+
+let alpha = Alphabet.lowercase
+let enc = Sequence.of_string alpha
+
+let test_known_values () =
+  Alcotest.(check int) "identical" 0 (Edit_distance.distance (enc "kitten") (enc "kitten"));
+  Alcotest.(check int) "kitten/sitting" 3 (Edit_distance.distance (enc "kitten") (enc "sitting"));
+  Alcotest.(check int) "empty vs abc" 3 (Edit_distance.distance [||] (enc "abc"));
+  Alcotest.(check int) "abc vs empty" 3 (Edit_distance.distance (enc "abc") [||]);
+  Alcotest.(check int) "both empty" 0 (Edit_distance.distance [||] [||]);
+  Alcotest.(check int) "single sub" 1 (Edit_distance.distance (enc "abc") (enc "axc"))
+
+let test_paper_footnote_example () =
+  (* Paper footnote 1: ED(aaaabbb, bbbaaaa) = 6 = ED(aaaabbb, abcdefg) —
+     the global-alignment weakness motivating the whole work. *)
+  let d1 = Edit_distance.distance (enc "aaaabbb") (enc "bbbaaaa") in
+  let d2 = Edit_distance.distance (enc "aaaabbb") (enc "abcdefg") in
+  Alcotest.(check int) "rearranged costs 6" 6 d1;
+  Alcotest.(check int) "unrelated also costs 6" 6 d2
+
+let test_banded_matches_exact_within_band () =
+  let a = enc "abcdefghij" and b = enc "abzdefqhij" in
+  Alcotest.(check int) "banded equals exact" (Edit_distance.distance a b)
+    (Edit_distance.distance_banded ~band:5 a b)
+
+let test_banded_length_gap () =
+  let a = enc "aaaaaaaaaa" and b = enc "aa" in
+  Alcotest.(check int) "gap beyond band falls back to max length" 10
+    (Edit_distance.distance_banded ~band:2 a b)
+
+let test_normalized () =
+  Alcotest.(check (float 1e-9)) "identical" 0.0 (Edit_distance.normalized (enc "abc") (enc "abc"));
+  Alcotest.(check (float 1e-9)) "empty pair" 0.0 (Edit_distance.normalized [||] [||]);
+  Alcotest.(check (float 1e-9)) "disjoint" 1.0 (Edit_distance.normalized (enc "aaa") (enc "bbb"))
+
+let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 0 30) (Gen.char_range 'a' 'd'))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"identity" ~count:200 seq_gen (fun s ->
+           Edit_distance.distance (enc s) (enc s) = 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"symmetry" ~count:200 (QCheck.pair seq_gen seq_gen)
+         (fun (a, b) -> Edit_distance.distance (enc a) (enc b) = Edit_distance.distance (enc b) (enc a)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"triangle inequality" ~count:200
+         (QCheck.triple seq_gen seq_gen seq_gen)
+         (fun (a, b, c) ->
+           Edit_distance.distance (enc a) (enc c)
+           <= Edit_distance.distance (enc a) (enc b) + Edit_distance.distance (enc b) (enc c)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"bounded by max length" ~count:200 (QCheck.pair seq_gen seq_gen)
+         (fun (a, b) ->
+           let d = Edit_distance.distance (enc a) (enc b) in
+           d >= abs (String.length a - String.length b)
+           && d <= max (String.length a) (String.length b)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"wide band equals exact" ~count:200 (QCheck.pair seq_gen seq_gen)
+         (fun (a, b) ->
+           Edit_distance.distance_banded ~band:40 (enc a) (enc b)
+           = Edit_distance.distance (enc a) (enc b)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"banded is admissible (never underestimates... bounded below by exact)"
+         ~count:200
+         (QCheck.pair (QCheck.pair seq_gen seq_gen) (QCheck.int_range 0 10))
+         (fun ((a, b), band) ->
+           Edit_distance.distance_banded ~band (enc a) (enc b)
+           >= Edit_distance.distance (enc a) (enc b)));
+  ]
+
+let () =
+  Alcotest.run "edit-distance"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "paper footnote example" `Quick test_paper_footnote_example;
+          Alcotest.test_case "banded exact within band" `Quick test_banded_matches_exact_within_band;
+          Alcotest.test_case "banded length gap" `Quick test_banded_length_gap;
+          Alcotest.test_case "normalized" `Quick test_normalized;
+        ] );
+      ("property", qcheck_tests);
+    ]

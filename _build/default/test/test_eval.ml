@@ -1,0 +1,173 @@
+(* Tests for Matching and Metrics. *)
+
+let test_majority_map () =
+  let truth = [| 0; 0; 0; 1; 1; 1; -1 |] in
+  let pred = [| 5; 5; 5; 9; 9; 5; 9 |] in
+  let map = Matching.majority_map ~truth ~pred in
+  Alcotest.(check int) "cluster 5 -> class 0" 0 (Matching.class_of_cluster map 5);
+  Alcotest.(check int) "cluster 9 -> class 1" 1 (Matching.class_of_cluster map 9);
+  Alcotest.(check int) "unknown cluster -> -1" (-1) (Matching.class_of_cluster map 77)
+
+let test_majority_prefers_real_classes () =
+  (* A cluster dominated by outliers still maps to the best real class. *)
+  let truth = [| -1; -1; -1; 2 |] in
+  let pred = [| 0; 0; 0; 0 |] in
+  let map = Matching.majority_map ~truth ~pred in
+  Alcotest.(check int) "outliers don't win majority" 2 (Matching.class_of_cluster map 0)
+
+let test_majority_all_outlier_cluster () =
+  let truth = [| -1; -1 |] in
+  let pred = [| 3; 3 |] in
+  let map = Matching.majority_map ~truth ~pred in
+  Alcotest.(check int) "pure-outlier cluster maps to -1" (-1) (Matching.class_of_cluster map 3)
+
+let test_relabel () =
+  let truth = [| 0; 0; 1; 1; -1 |] in
+  let pred = [| 7; 7; 8; 8; -1 |] in
+  Alcotest.(check (array int)) "relabeled" [| 0; 0; 1; 1; -1 |] (Matching.relabel ~truth ~pred)
+
+let test_per_class_paper_definition () =
+  (* F = {0,1,2} (class 0 members), F' = {0,1,3}: precision = recall = 2/3. *)
+  let truth = [| 0; 0; 0; 1; 1; 1 |] in
+  let pred_class = [| 0; 0; 1; 0; 1; 1 |] in
+  let prs = Metrics.per_class ~truth ~pred_class in
+  let pr0 = List.assoc 0 prs in
+  Alcotest.(check (float 1e-9)) "precision class 0" (2.0 /. 3.0) pr0.precision;
+  Alcotest.(check (float 1e-9)) "recall class 0" (2.0 /. 3.0) pr0.recall;
+  Alcotest.(check int) "tp" 2 pr0.tp;
+  Alcotest.(check int) "fp" 1 pr0.fp;
+  Alcotest.(check int) "fn" 1 pr0.fn
+
+let test_accuracy () =
+  let truth = [| 0; 0; 1; 1; -1 |] in
+  let pred_class = [| 0; 1; 1; -1; 0 |] in
+  (* Of the 4 non-outlier sequences: correct = {0, 2}. The outlier row is
+     excluded from the denominator. *)
+  Alcotest.(check (float 1e-9)) "accuracy" 0.5 (Metrics.accuracy ~truth ~pred_class)
+
+let test_accuracy_unclustered_counts_wrong () =
+  let truth = [| 0; 0 |] in
+  let pred_class = [| -1; -1 |] in
+  Alcotest.(check (float 1e-9)) "all unclustered = 0" 0.0 (Metrics.accuracy ~truth ~pred_class)
+
+let test_macro_averages () =
+  let truth = [| 0; 0; 1; 1 |] in
+  let pred_class = [| 0; 0; 1; 0 |] in
+  let prs = Metrics.per_class ~truth ~pred_class in
+  (* class 0: p = 2/3, r = 1; class 1: p = 1, r = 1/2. *)
+  Alcotest.(check (float 1e-9)) "macro precision" ((2.0 /. 3.0 +. 1.0) /. 2.0)
+    (Metrics.macro_precision prs);
+  Alcotest.(check (float 1e-9)) "macro recall" 0.75 (Metrics.macro_recall prs)
+
+let test_outlier_detection () =
+  let truth = [| -1; -1; 0; 0 |] in
+  let pred_class = [| -1; 0; -1; 0 |] in
+  let d = Metrics.outlier_detection ~truth ~pred_class in
+  Alcotest.(check int) "tp" 1 d.tp;
+  Alcotest.(check int) "fp" 1 d.fp;
+  Alcotest.(check int) "fn" 1 d.fn;
+  Alcotest.(check (float 1e-9)) "precision" 0.5 d.precision;
+  Alcotest.(check (float 1e-9)) "recall" 0.5 d.recall
+
+let test_ari_identical () =
+  let l = [| 0; 0; 1; 1; 2; 2 |] in
+  Alcotest.(check (float 1e-9)) "identical = 1" 1.0 (Metrics.adjusted_rand_index ~truth:l ~pred:l)
+
+let test_ari_renaming_invariant () =
+  let truth = [| 0; 0; 1; 1; 2; 2 |] in
+  let pred = [| 9; 9; 4; 4; 7; 7 |] in
+  Alcotest.(check (float 1e-9)) "renamed = 1" 1.0 (Metrics.adjusted_rand_index ~truth ~pred)
+
+let test_ari_single_cluster_vs_split () =
+  let truth = [| 0; 0; 0; 1; 1; 1 |] in
+  let pred = [| 0; 0; 0; 0; 0; 0 |] in
+  let ari = Metrics.adjusted_rand_index ~truth ~pred in
+  Alcotest.(check bool) "degenerate clustering scores ~ 0" true (Float.abs ari < 0.2)
+
+let test_ari_random_near_zero () =
+  let rng = Rng.create 42 in
+  let n = 2000 in
+  let truth = Array.init n (fun _ -> Rng.int rng 4) in
+  let pred = Array.init n (fun _ -> Rng.int rng 4) in
+  let ari = Metrics.adjusted_rand_index ~truth ~pred in
+  Alcotest.(check bool) (Printf.sprintf "independent ~ 0 (got %.4f)" ari) true (Float.abs ari < 0.05)
+
+let test_confusion () =
+  let truth = [| 0; 0; 1; -1 |] in
+  let pred_class = [| 0; 1; 1; -1 |] in
+  let c = Metrics.confusion ~truth ~pred_class in
+  Alcotest.(check int) "cells" 4 (List.length c);
+  Alcotest.(check int) "(0,0)" 1 (List.assoc (0, 0) c);
+  Alcotest.(check int) "(0,1)" 1 (List.assoc (0, 1) c);
+  Alcotest.(check int) "(1,1)" 1 (List.assoc (1, 1) c);
+  Alcotest.(check int) "(-1,-1)" 1 (List.assoc (-1, -1) c);
+  Alcotest.(check int) "total preserved" 4 (List.fold_left (fun a (_, v) -> a + v) 0 c)
+
+let test_length_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Metrics: length mismatch") (fun () ->
+      ignore (Metrics.accuracy ~truth:[| 0 |] ~pred_class:[| 0; 1 |]))
+
+let labels_gen n_classes =
+  QCheck.(list_of_size (Gen.int_range 2 60) (int_range (-1) (n_classes - 1)))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"precision/recall within [0,1]" ~count:300
+         (QCheck.pair (labels_gen 4) (labels_gen 4))
+         (fun (t, p) ->
+           let n = min (List.length t) (List.length p) in
+           let truth = Array.of_list (List.filteri (fun i _ -> i < n) t) in
+           let pred = Array.of_list (List.filteri (fun i _ -> i < n) p) in
+           List.for_all
+             (fun (_, (pr : Metrics.pr)) ->
+               pr.precision >= 0.0 && pr.precision <= 1.0 && pr.recall >= 0.0 && pr.recall <= 1.0)
+             (Metrics.per_class ~truth ~pred_class:pred)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"ARI of identical labeling is 1" ~count:300 (labels_gen 5)
+         (fun l ->
+           let a = Array.of_list l in
+           Array.length a < 2
+           || Float.abs (Metrics.adjusted_rand_index ~truth:a ~pred:a -. 1.0) < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"ARI symmetric" ~count:300
+         (QCheck.pair (labels_gen 4) (labels_gen 4))
+         (fun (t, p) ->
+           let n = min (List.length t) (List.length p) in
+           if n < 2 then true
+           else begin
+             let a = Array.of_list (List.filteri (fun i _ -> i < n) t) in
+             let b = Array.of_list (List.filteri (fun i _ -> i < n) p) in
+             Float.abs
+               (Metrics.adjusted_rand_index ~truth:a ~pred:b
+               -. Metrics.adjusted_rand_index ~truth:b ~pred:a)
+             < 1e-9
+           end));
+  ]
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "matching",
+        [
+          Alcotest.test_case "majority map" `Quick test_majority_map;
+          Alcotest.test_case "prefers real classes" `Quick test_majority_prefers_real_classes;
+          Alcotest.test_case "all-outlier cluster" `Quick test_majority_all_outlier_cluster;
+          Alcotest.test_case "relabel" `Quick test_relabel;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "per-class (paper defn)" `Quick test_per_class_paper_definition;
+          Alcotest.test_case "accuracy" `Quick test_accuracy;
+          Alcotest.test_case "unclustered wrong" `Quick test_accuracy_unclustered_counts_wrong;
+          Alcotest.test_case "macro averages" `Quick test_macro_averages;
+          Alcotest.test_case "outlier detection" `Quick test_outlier_detection;
+          Alcotest.test_case "ARI identical" `Quick test_ari_identical;
+          Alcotest.test_case "ARI renaming" `Quick test_ari_renaming_invariant;
+          Alcotest.test_case "ARI degenerate" `Quick test_ari_single_cluster_vs_split;
+          Alcotest.test_case "ARI independent" `Quick test_ari_random_near_zero;
+          Alcotest.test_case "confusion" `Quick test_confusion;
+          Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+        ] );
+      ("property", qcheck_tests);
+    ]

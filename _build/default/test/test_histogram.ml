@@ -1,0 +1,117 @@
+(* Tests for Histogram, in particular the Sec. 4.6 valley detector. *)
+
+let test_bucketing () =
+  let h = Histogram.create ~n_buckets:10 ~lo:0.0 ~hi:10.0 () in
+  Histogram.add h 0.5;
+  Histogram.add h 0.7;
+  Histogram.add h 9.5;
+  Alcotest.(check int) "bucket 0" 2 (Histogram.bucket_count h 0);
+  Alcotest.(check int) "bucket 9" 1 (Histogram.bucket_count h 9);
+  Alcotest.(check int) "total" 3 (Histogram.count h)
+
+let test_clamping () =
+  let h = Histogram.create ~n_buckets:5 ~lo:0.0 ~hi:5.0 () in
+  Histogram.add h (-100.0);
+  Histogram.add h 100.0;
+  Alcotest.(check int) "below range clamps to first" 1 (Histogram.bucket_count h 0);
+  Alcotest.(check int) "above range clamps to last" 1 (Histogram.bucket_count h 4)
+
+let test_bucket_center () =
+  let h = Histogram.create ~n_buckets:4 ~lo:0.0 ~hi:8.0 () in
+  Alcotest.(check (float 1e-9)) "center of bucket 0" 1.0 (Histogram.bucket_center h 0);
+  Alcotest.(check (float 1e-9)) "center of bucket 3" 7.0 (Histogram.bucket_center h 3)
+
+let test_invalid_args () =
+  Alcotest.check_raises "hi <= lo" (Invalid_argument "Histogram.create: hi <= lo") (fun () ->
+      ignore (Histogram.create ~lo:1.0 ~hi:1.0 ()));
+  Alcotest.check_raises "too few buckets" (Invalid_argument "Histogram.create: need >= 3 buckets")
+    (fun () -> ignore (Histogram.create ~n_buckets:2 ~lo:0.0 ~hi:1.0 ()));
+  Alcotest.check_raises "empty samples" (Invalid_argument "Histogram.of_samples: empty")
+    (fun () -> ignore (Histogram.of_samples [||]))
+
+let test_valley_empty () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 () in
+  Alcotest.(check bool) "no valley on empty" true (Histogram.valley h = None)
+
+(* A curve that declines steeply until x = 3, then flattens: the sharpest
+   turn (largest left/right slope contrast) sits near x = 3. *)
+let test_valley_two_slope_curve () =
+  let h = Histogram.create ~n_buckets:30 ~lo:0.0 ~hi:10.0 () in
+  for b = 0 to 29 do
+    let x = Histogram.bucket_center h b in
+    let y =
+      if x < 3.0 then int_of_float (1000.0 -. (300.0 *. x)) else int_of_float (60.0 -. (2.0 *. x))
+    in
+    for _ = 1 to max 0 y do
+      Histogram.add h x
+    done
+  done;
+  match Histogram.valley h with
+  | None -> Alcotest.fail "expected a valley"
+  | Some v -> Alcotest.(check bool) (Printf.sprintf "valley near 3 (got %f)" v) true (Float.abs (v -. 3.0) < 1.5)
+
+(* Bimodal similarity histogram: a large hump of low similarities, a long
+   empty gap, and a small hump of high similarities. valley_log must place
+   the threshold after the low hump, not inside it. *)
+let test_valley_log_bimodal () =
+  let samples =
+    Array.concat
+      [
+        Array.init 2000 (fun i -> 1.0 +. (float_of_int (i mod 40) /. 10.0));
+        Array.init 150 (fun i -> 80.0 +. float_of_int (i mod 20));
+      ]
+  in
+  let h = Histogram.of_samples ~n_buckets:50 samples in
+  match Histogram.valley_log h with
+  | None -> Alcotest.fail "expected a valley"
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "valley in the gap (got %f)" v)
+        true
+        (v > 5.0 && v < 80.0)
+
+let test_to_points () =
+  let h = Histogram.create ~n_buckets:3 ~lo:0.0 ~hi:3.0 () in
+  Histogram.add h 1.5;
+  let pts = Histogram.to_points h in
+  Alcotest.(check int) "one point per bucket" 3 (Array.length pts);
+  Alcotest.(check (float 1e-9)) "count in middle bucket" 1.0 (snd pts.(1))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"total equals samples added" ~count:200
+         QCheck.(list_of_size (Gen.int_range 1 200) (float_range (-50.0) 50.0))
+         (fun ys ->
+           let h = Histogram.of_samples (Array.of_list ys) in
+           Histogram.count h = List.length ys));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"valley lies within sample range" ~count:200
+         QCheck.(list_of_size (Gen.int_range 12 200) (float_range (-50.0) 50.0))
+         (fun ys ->
+           let a = Array.of_list ys in
+           let h = Histogram.of_samples a in
+           match Histogram.valley h with
+           | None -> false
+           | Some v ->
+               let lo = Array.fold_left Float.min a.(0) a in
+               let hi = Array.fold_left Float.max a.(0) a in
+               v >= lo -. 1.0 && v <= hi +. 1.0));
+  ]
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "bucketing" `Quick test_bucketing;
+          Alcotest.test_case "clamping" `Quick test_clamping;
+          Alcotest.test_case "bucket centers" `Quick test_bucket_center;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "valley on empty" `Quick test_valley_empty;
+          Alcotest.test_case "valley two-slope curve" `Quick test_valley_two_slope_curve;
+          Alcotest.test_case "valley_log bimodal" `Quick test_valley_log_bimodal;
+          Alcotest.test_case "to_points" `Quick test_to_points;
+        ] );
+      ("property", qcheck_tests);
+    ]

@@ -1,0 +1,128 @@
+(* Tests for the discrete HMM baseline: forward probabilities, Baum–Welch,
+   and the mixture clusterer. *)
+
+let test_random_model_normalized () =
+  let m = Hmm.random (Rng.create 1) ~n_states:4 ~n_symbols:6 in
+  let check_row name row =
+    Alcotest.(check (float 1e-9)) name 1.0 (Array.fold_left ( +. ) 0.0 row)
+  in
+  check_row "pi" m.pi;
+  Array.iteri (fun i r -> check_row (Printf.sprintf "a%d" i) r) m.a;
+  Array.iteri (fun i r -> check_row (Printf.sprintf "b%d" i) r) m.b
+
+(* Enumerate all sequences of a given length and check total probability
+   mass is 1 — the forward recursion is a proper distribution. *)
+let test_forward_total_probability () =
+  let m = Hmm.random (Rng.create 2) ~n_states:3 ~n_symbols:3 in
+  let total = ref 0.0 in
+  let len = 4 in
+  let rec go prefix =
+    if List.length prefix = len then
+      total := !total +. exp (Hmm.log_likelihood m (Array.of_list (List.rev prefix)))
+    else
+      for s = 0 to 2 do
+        go (s :: prefix)
+      done
+  in
+  go [];
+  Alcotest.(check (float 1e-6)) "sums to 1 over all length-4 sequences" 1.0 !total
+
+let test_degenerate_deterministic_model () =
+  (* A 1-state model emitting symbol 0 with probability 1. *)
+  let m = { Hmm.pi = [| 1.0 |]; a = [| [| 1.0 |] |]; b = [| [| 1.0; 0.0 |] |] } in
+  Alcotest.(check (float 1e-9)) "P(000) = 1" 0.0 (Hmm.log_likelihood m [| 0; 0; 0 |]);
+  Alcotest.(check bool) "P(001) ~ 0" true (Hmm.log_likelihood m [| 0; 0; 1 |] < -100.0)
+
+let test_empty_sequence () =
+  let m = Hmm.random (Rng.create 3) ~n_states:2 ~n_symbols:2 in
+  Alcotest.(check (float 1e-9)) "log P(empty) = 0" 0.0 (Hmm.log_likelihood m [||])
+
+let test_baum_welch_improves_likelihood () =
+  let rng = Rng.create 4 in
+  (* Data from a biased source: long runs of alternating pairs. *)
+  let data =
+    List.init 10 (fun i -> Array.init 30 (fun j -> if (i + (j / 3)) mod 2 = 0 then 0 else 1))
+  in
+  let m0 = Hmm.random rng ~n_states:3 ~n_symbols:2 in
+  let ll model = List.fold_left (fun acc s -> acc +. Hmm.log_likelihood model s) 0.0 data in
+  let before = ll m0 in
+  let m1 = Hmm.baum_welch ~iterations:10 m0 data in
+  let after = ll m1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "likelihood improves (%.1f -> %.1f)" before after)
+    true (after > before)
+
+let test_baum_welch_keeps_normalization () =
+  let rng = Rng.create 5 in
+  let data = [ Array.init 20 (fun i -> i mod 3) ] in
+  let m = Hmm.baum_welch ~iterations:5 (Hmm.random rng ~n_states:4 ~n_symbols:3) data in
+  Array.iter
+    (fun row -> Alcotest.(check (float 1e-9)) "row normalized" 1.0 (Array.fold_left ( +. ) 0.0 row))
+    m.a;
+  Array.iter
+    (fun row -> Alcotest.(check (float 1e-9)) "emission normalized" 1.0 (Array.fold_left ( +. ) 0.0 row))
+    m.b
+
+let test_no_underflow_on_long_sequences () =
+  let m = Hmm.random (Rng.create 6) ~n_states:5 ~n_symbols:8 in
+  let s = Array.init 5000 (fun i -> i mod 8) in
+  let ll = Hmm.log_likelihood m s in
+  Alcotest.(check bool) "finite log-likelihood on length 5000" true (Float.is_finite ll)
+
+let test_cluster_separates_obvious_sources () =
+  (* Two trivially different sources: all-0s-ish and all-1s-ish. *)
+  let rng = Rng.create 7 in
+  let mk bias = Array.init 40 (fun _ -> if Rng.float rng 1.0 < bias then 1 else 0) in
+  let data = Array.init 30 (fun i -> if i < 15 then mk 0.05 else mk 0.95) in
+  let r = Hmm.cluster (Rng.create 8) ~k:2 ~n_states:2 ~n_symbols:2 ~rounds:5 ~em_iterations:5 data in
+  let first = r.labels.(0) in
+  let group_ok lo hi l = Array.for_all (fun x -> x = l) (Array.sub r.labels lo (hi - lo)) in
+  Alcotest.(check bool) "group 1 homogeneous" true (group_ok 0 15 first);
+  Alcotest.(check bool) "group 2 homogeneous and different" true
+    (group_ok 15 15 (1 - first))
+
+let test_cluster_respects_init_labels () =
+  let data = Array.init 10 (fun i -> Array.make 20 (i mod 2)) in
+  let init = Array.init 10 (fun i -> i mod 2) in
+  let r =
+    Hmm.cluster (Rng.create 9) ~k:2 ~n_states:2 ~n_symbols:2 ~rounds:1 ~em_iterations:5
+      ~init_labels:init data
+  in
+  (* Perfect init on perfectly separable data must not be destroyed. *)
+  let agree = Array.for_all2 ( = ) r.labels init in
+  let flipped = Array.for_all2 (fun a b -> a = 1 - b) r.labels init in
+  Alcotest.(check bool) "labels match init up to renaming" true (agree || flipped)
+
+let test_cluster_invalid_args () =
+  let data = [| [| 0 |] |] in
+  Alcotest.check_raises "k > n" (Invalid_argument "Hmm.cluster") (fun () ->
+      ignore (Hmm.cluster (Rng.create 1) ~k:2 ~n_states:2 ~n_symbols:2 data))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"log likelihood is non-positive-ish (prob <= 1)" ~count:100
+         QCheck.(pair small_int (list_of_size (Gen.int_range 1 30) (int_range 0 3)))
+         (fun (seed, s) ->
+           let m = Hmm.random (Rng.create seed) ~n_states:3 ~n_symbols:4 in
+           Hmm.log_likelihood m (Array.of_list s) <= 1e-9));
+  ]
+
+let () =
+  Alcotest.run "hmm"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "random normalized" `Quick test_random_model_normalized;
+          Alcotest.test_case "forward total probability" `Quick test_forward_total_probability;
+          Alcotest.test_case "deterministic model" `Quick test_degenerate_deterministic_model;
+          Alcotest.test_case "empty sequence" `Quick test_empty_sequence;
+          Alcotest.test_case "baum-welch improves" `Quick test_baum_welch_improves_likelihood;
+          Alcotest.test_case "baum-welch normalized" `Quick test_baum_welch_keeps_normalization;
+          Alcotest.test_case "no underflow" `Quick test_no_underflow_on_long_sequences;
+          Alcotest.test_case "cluster separates" `Quick test_cluster_separates_obvious_sources;
+          Alcotest.test_case "cluster respects init" `Quick test_cluster_respects_init_labels;
+          Alcotest.test_case "invalid args" `Quick test_cluster_invalid_args;
+        ] );
+      ("property", qcheck_tests);
+    ]

@@ -1,0 +1,106 @@
+(* Tests for the k-medoids clusterer. *)
+
+(* Three well-separated groups on the integer line. *)
+let line_points =
+  Array.concat
+    [
+      Array.init 10 (fun i -> float_of_int i);
+      Array.init 10 (fun i -> 100.0 +. float_of_int i);
+      Array.init 10 (fun i -> 200.0 +. float_of_int i);
+    ]
+
+let line_dist i j = Float.abs (line_points.(i) -. line_points.(j))
+
+let test_recovers_separated_groups () =
+  let rng = Rng.create 5 in
+  let r = Kmedoids.run rng ~k:3 ~n:30 line_dist in
+  (* All members of one true group must share a label. *)
+  for g = 0 to 2 do
+    let base = r.labels.(g * 10) in
+    for i = 0 to 9 do
+      Alcotest.(check int) (Printf.sprintf "group %d member %d" g i) base r.labels.((g * 10) + i)
+    done
+  done;
+  (* And the three groups get three distinct labels. *)
+  let distinct = List.sort_uniq compare [ r.labels.(0); r.labels.(10); r.labels.(20) ] in
+  Alcotest.(check int) "three distinct labels" 3 (List.length distinct)
+
+let test_labels_in_range () =
+  let rng = Rng.create 6 in
+  let r = Kmedoids.run rng ~k:4 ~n:30 line_dist in
+  Array.iter (fun l -> Alcotest.(check bool) "label range" true (l >= 0 && l < 4)) r.labels
+
+let test_medoids_are_members () =
+  let rng = Rng.create 7 in
+  let r = Kmedoids.run rng ~k:3 ~n:30 line_dist in
+  Array.iteri
+    (fun c m ->
+      Alcotest.(check bool) "medoid index valid" true (m >= 0 && m < 30);
+      Alcotest.(check int) (Printf.sprintf "medoid %d labeled with its cluster" c) c r.labels.(m))
+    r.medoids
+
+let test_cost_consistent () =
+  let rng = Rng.create 8 in
+  let r = Kmedoids.run rng ~k:3 ~n:30 line_dist in
+  let expected =
+    Array.to_list r.labels
+    |> List.mapi (fun i c -> line_dist i r.medoids.(c))
+    |> List.fold_left ( +. ) 0.0
+  in
+  Alcotest.(check (float 1e-9)) "cost = sum of member distances" expected r.cost
+
+let test_k_equals_n () =
+  let rng = Rng.create 9 in
+  let r = Kmedoids.run rng ~k:5 ~n:5 (fun i j -> Float.abs (float_of_int (i - j))) in
+  Alcotest.(check (float 1e-9)) "perfect cover" 0.0 r.cost
+
+let test_invalid_k () =
+  let rng = Rng.create 10 in
+  Alcotest.check_raises "k > n" (Invalid_argument "Kmedoids.run") (fun () ->
+      ignore (Kmedoids.run rng ~k:10 ~n:3 line_dist));
+  Alcotest.check_raises "k = 0" (Invalid_argument "Kmedoids.run") (fun () ->
+      ignore (Kmedoids.run rng ~k:0 ~n:3 line_dist))
+
+let test_deterministic_given_rng_seed () =
+  let r1 = Kmedoids.run (Rng.create 11) ~k:3 ~n:30 line_dist in
+  let r2 = Kmedoids.run (Rng.create 11) ~k:3 ~n:30 line_dist in
+  Alcotest.(check bool) "identical runs" true (r1.labels = r2.labels)
+
+let test_precompute_matches () =
+  let d = Kmedoids.precompute ~n:30 line_dist in
+  for i = 0 to 29 do
+    for j = 0 to 29 do
+      Alcotest.(check (float 1e-12)) "matrix entry" (line_dist i j) (d i j)
+    done
+  done
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"every cluster label has a medoid of the same label" ~count:100
+         (QCheck.pair QCheck.small_int (QCheck.int_range 1 5))
+         (fun (seed, k) ->
+           let n = 20 in
+           let rng = Rng.create seed in
+           let pts = Array.init n (fun _ -> Rng.float rng 100.0) in
+           let r = Kmedoids.run (Rng.split rng) ~k ~n (fun i j -> Float.abs (pts.(i) -. pts.(j))) in
+           Array.for_all (fun l -> l >= 0 && l < k) r.labels
+           && Array.length r.medoids = k));
+  ]
+
+let () =
+  Alcotest.run "kmedoids"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "recovers groups" `Quick test_recovers_separated_groups;
+          Alcotest.test_case "labels in range" `Quick test_labels_in_range;
+          Alcotest.test_case "medoids are members" `Quick test_medoids_are_members;
+          Alcotest.test_case "cost consistent" `Quick test_cost_consistent;
+          Alcotest.test_case "k = n" `Quick test_k_equals_n;
+          Alcotest.test_case "invalid k" `Quick test_invalid_k;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_given_rng_seed;
+          Alcotest.test_case "precompute" `Quick test_precompute_matches;
+        ] );
+      ("property", qcheck_tests);
+    ]

@@ -1,0 +1,344 @@
+(* Tests for the probabilistic suffix tree: counts, probability vectors,
+   prediction-node semantics, smoothing, and pruning. *)
+
+let alpha = Alphabet.lowercase
+
+let cfg ?(max_depth = 10) ?(significance = 2) ?(max_nodes = 100000) ?(p_min = 0.0)
+    ?(pruning = Pruning.Smallest_count_first) ?(alphabet_size = 26) () : Pst.config =
+  { Pst.alphabet_size; max_depth; significance; max_nodes; p_min; pruning }
+
+let build ?max_depth ?significance ?max_nodes ?p_min ?pruning texts =
+  let t = Pst.create (cfg ?max_depth ?significance ?max_nodes ?p_min ?pruning ()) in
+  List.iter (fun s -> Pst.insert_sequence t (Sequence.of_string alpha s)) texts;
+  t
+
+let test_empty_tree () =
+  let t = Pst.create (cfg ()) in
+  Alcotest.(check int) "one node" 1 (Pst.n_nodes t);
+  Alcotest.(check int) "zero count" 0 (Pst.total_count t)
+
+let test_root_count_is_total_symbols () =
+  (* "The count associated with the root records the overall size of the
+     sequence cluster" (paper Sec. 3). *)
+  let t = build [ "abcab"; "xyz" ] in
+  Alcotest.(check int) "root count" 8 (Pst.total_count t)
+
+let test_node_counts_match_occurrences () =
+  let texts = [ "ababab"; "babb"; "aabba" ] in
+  let t = build texts in
+  let check_label label =
+    let pattern = Sequence.of_string alpha label in
+    let expected =
+      List.fold_left
+        (fun acc s ->
+          acc + Sequence.count_occurrences (Sequence.of_string alpha s) ~pattern)
+        0 texts
+    in
+    match Pst.find_node t pattern with
+    | Some node -> Alcotest.(check int) (Printf.sprintf "count of %S" label) expected (Pst.node_count node)
+    | None -> Alcotest.(check int) (Printf.sprintf "%S absent means zero" label) expected 0
+  in
+  List.iter check_label [ "a"; "b"; "ab"; "ba"; "bb"; "aba"; "abab"; "z"; "aa" ]
+
+let test_next_counts_are_extension_counts () =
+  (* P(s|σ') = C(σ's)/C(σ') (paper Sec. 4.4): next counts must equal the
+     occurrence counts of the extended segment. *)
+  let texts = [ "abcabcabc"; "abacab" ] in
+  let t = build texts in
+  let count label =
+    let pattern = Sequence.of_string alpha label in
+    List.fold_left
+      (fun acc s -> acc + Sequence.count_occurrences (Sequence.of_string alpha s) ~pattern)
+      0 texts
+  in
+  match Pst.find_node t (Sequence.of_string alpha "ab") with
+  | None -> Alcotest.fail "node ab must exist"
+  | Some node ->
+      Alcotest.(check int) "C(abc)" (count "abc") (Pst.next_count node (Alphabet.code_exn alpha "c"));
+      Alcotest.(check int) "C(aba)" (count "aba") (Pst.next_count node (Alphabet.code_exn alpha "a"))
+
+let test_probability_vector_sums_to_one () =
+  let t = build ~p_min:0.001 [ "abcabcbca"; "cabcab" ] in
+  Pst.iter_nodes t (fun node ->
+      if Pst.next_total node > 0 then begin
+        let dist = Pst.next_distribution t node in
+        let s = Array.fold_left ( +. ) 0.0 dist in
+        Alcotest.(check (float 1e-6)) "distribution sums to 1" 1.0 s
+      end)
+
+let test_figure1_style_probabilities () =
+  (* Hand-checkable conditional probabilities on a tiny corpus. *)
+  let t = build [ "ababab" ] in
+  (* C(a) = 3; "a" is followed by "b" 3 times, "a" 0 times. *)
+  match Pst.find_node t (Sequence.of_string alpha "a") with
+  | None -> Alcotest.fail "node a must exist"
+  | Some node ->
+      let b = Alphabet.code_exn alpha "b" in
+      let a = Alphabet.code_exn alpha "a" in
+      Alcotest.(check (float 1e-9)) "P(b|a) = 1" 1.0
+        (exp (Pst.next_log_prob t node b));
+      Alcotest.(check bool) "P(a|a) = 0 unsmoothed" true
+        (Pst.next_log_prob t node a = neg_infinity)
+
+let test_smoothing_bounds () =
+  (* Sec. 5.2: adjusted probability = (1 - n·p_min)·P + p_min, so every
+     symbol gets at least p_min and at most 1 - (n-1)·p_min. *)
+  let p_min = 0.001 in
+  let t = build ~p_min [ "ababab" ] in
+  match Pst.find_node t (Sequence.of_string alpha "a") with
+  | None -> Alcotest.fail "node a must exist"
+  | Some node ->
+      let a = Alphabet.code_exn alpha "a" in
+      let b = Alphabet.code_exn alpha "b" in
+      Alcotest.(check (float 1e-9)) "zero count floored at p_min" p_min
+        (exp (Pst.next_log_prob t node a));
+      Alcotest.(check (float 1e-9)) "full mass scaled down" (1.0 -. (26.0 *. p_min) +. p_min)
+        (exp (Pst.next_log_prob t node b))
+
+let test_prediction_node_is_longest_significant_suffix () =
+  (* With c = 3: in "abababab", "ab" occurs 4 times (significant),
+     "bab" occurs 3 times (significant), "abab" occurs 3 times
+     (significant)... use c = 4 to force a cut. *)
+  let t = build ~significance:4 [ "abababab" ] in
+  let s = Sequence.of_string alpha "abab" in
+  (* Context = "abab" (positions 0..3), predict position 4. The walk
+     descends while counts >= 4: "b" (4), "ab" (4), "bab" (3 <- stop). *)
+  let node = Pst.prediction_node t s ~lo:0 ~pos:4 in
+  Alcotest.(check int) "depth stops at ab" 2 (Pst.node_depth node);
+  Alcotest.(check (list int)) "label is ab"
+    [ Alphabet.code_exn alpha "a"; Alphabet.code_exn alpha "b" ]
+    (Pst.node_label t node)
+
+let test_prediction_node_empty_context () =
+  let t = build [ "abc" ] in
+  let s = Sequence.of_string alpha "abc" in
+  let node = Pst.prediction_node t s ~lo:0 ~pos:0 in
+  Alcotest.(check int) "root for empty context" 0 (Pst.node_depth node)
+
+let test_prediction_respects_max_depth () =
+  let t = build ~max_depth:3 ~significance:1 [ "aaaaaaaaaa" ] in
+  let s = Sequence.of_string alpha "aaaaaaa" in
+  let node = Pst.prediction_node t s ~lo:0 ~pos:6 in
+  Alcotest.(check bool) "depth capped" true (Pst.node_depth node <= 3)
+
+let test_log_prob_uniform_on_empty () =
+  let t = Pst.create (cfg ~alphabet_size:4 ()) in
+  let s = [| 2 |] in
+  Alcotest.(check (float 1e-9)) "uniform 1/4" (log 0.25) (Pst.log_prob t s ~lo:0 ~pos:0)
+
+let test_insert_segment_matches_sub_sequence_insert () =
+  (* Inserting s[lo..hi] must equal inserting that segment as a fresh
+     sequence. *)
+  let s = Sequence.of_string alpha "abcabcab" in
+  let t1 = Pst.create (cfg ()) in
+  Pst.insert_segment t1 s ~lo:2 ~hi:6;
+  let t2 = Pst.create (cfg ()) in
+  Pst.insert_sequence t2 (Sequence.segment s ~lo:2 ~hi:6);
+  Alcotest.(check int) "same node count" (Pst.n_nodes t2) (Pst.n_nodes t1);
+  Alcotest.(check int) "same total" (Pst.total_count t2) (Pst.total_count t1);
+  Pst.iter_nodes t1 (fun node ->
+      let label = Array.of_list (Pst.node_label t1 node) in
+      match Pst.find_node t2 label with
+      | None -> Alcotest.fail "node missing in reference tree"
+      | Some node2 ->
+          Alcotest.(check int) "same count" (Pst.node_count node2) (Pst.node_count node))
+
+let test_max_depth_limits_nodes () =
+  let t = build ~max_depth:2 [ "abcdefgh" ] in
+  Pst.iter_nodes t (fun node ->
+      Alcotest.(check bool) "no node deeper than 2" true (Pst.node_depth node <= 2))
+
+let test_pruning_budget_respected () =
+  let t = build ~max_nodes:50 [ String.concat "" (List.init 40 (fun i -> Printf.sprintf "%c%c" (Char.chr (97 + (i mod 26))) (Char.chr (97 + ((i * 7) mod 26))))) ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "node budget held (%d <= 50)" (Pst.n_nodes t))
+    true
+    (Pst.n_nodes t <= 50)
+
+let test_prune_to_keeps_high_counts () =
+  let t = build ~significance:2 [ "abababababababab"; "cdcd" ] in
+  let before = Pst.n_nodes t in
+  Pst.prune_to t (before / 2);
+  Alcotest.(check bool) "pruned" true (Pst.n_nodes t <= before / 2);
+  (* The high-frequency "a"/"b" depth-1 nodes must survive count-based
+     pruning while rare deep nodes go. *)
+  Alcotest.(check bool) "a survives" true
+    (Pst.find_node t (Sequence.of_string alpha "a") <> None);
+  Alcotest.(check bool) "b survives" true
+    (Pst.find_node t (Sequence.of_string alpha "b") <> None)
+
+let test_pruning_strategies_all_respect_target () =
+  List.iter
+    (fun strategy ->
+      let t =
+        build ~pruning:strategy ~significance:2
+          [ "abcabcabcabcabc"; "xyzxyzxyz"; "aabbaabbccdd" ]
+      in
+      Pst.prune_to t 10;
+      Alcotest.(check bool)
+        (Pruning.to_string strategy ^ " target met")
+        true
+        (Pst.n_nodes t <= 10))
+    Pruning.all
+
+let test_longest_label_pruning_removes_deep_first () =
+  let t = build ~pruning:Pruning.Longest_label_first ~significance:2 [ "abcdefabcdef" ] in
+  let max_depth_before =
+    let d = ref 0 in
+    Pst.iter_nodes t (fun n -> if Pst.node_depth n > !d then d := Pst.node_depth n);
+    !d
+  in
+  Pst.prune_to t (Pst.n_nodes t / 2);
+  let max_depth_after =
+    let d = ref 0 in
+    Pst.iter_nodes t (fun n -> if Pst.node_depth n > !d then d := Pst.node_depth n);
+    !d
+  in
+  Alcotest.(check bool) "max depth reduced" true (max_depth_after < max_depth_before)
+
+let test_stats () =
+  let t = build ~significance:3 [ "ababababab" ] in
+  let st = Pst.stats t in
+  Alcotest.(check int) "nodes agree" (Pst.n_nodes t) st.nodes;
+  Alcotest.(check bool) "some significant" true (st.significant_nodes > 0);
+  Alcotest.(check bool) "bytes positive" true (st.approx_bytes > 0)
+
+let test_pp_renders () =
+  let t = build ~significance:3 [ "ababab" ] in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Pst.pp ~max_depth:2 ~symbol:(fun fmt c -> Format.fprintf fmt "%c" (Char.chr (97 + c))) fmt t;
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "mentions root" true
+    (String.length out > 0 && String.sub out 0 6 = "(root)");
+  (* "a" occurs 3 times and is significant at c = 3. *)
+  let has_needle needle =
+    let n = String.length needle and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "significant a starred" true (has_needle "a  C=3*")
+
+let test_create_validation () =
+  let bad f = try ignore (Pst.create (f ())); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "alphabet_size 0" true (bad (fun () -> cfg ~alphabet_size:0 ()));
+  Alcotest.(check bool) "max_depth 0" true (bad (fun () -> cfg ~max_depth:0 ()));
+  Alcotest.(check bool) "p_min too big" true (bad (fun () -> cfg ~p_min:0.2 ~alphabet_size:26 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 1 60) (Gen.char_range 'a' 'd'))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"root count = total symbols" ~count:100 (QCheck.list_of_size (QCheck.Gen.int_range 0 10) seq_gen)
+         (fun texts ->
+           let t = build texts in
+           Pst.total_count t = List.fold_left (fun acc s -> acc + String.length s) 0 texts));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"every node count matches occurrences" ~count:40 seq_gen
+         (fun text ->
+           let t = build [ text ] in
+           let s = Sequence.of_string alpha text in
+           let ok = ref true in
+           Pst.iter_nodes t (fun node ->
+               if Pst.node_depth node > 0 then begin
+                 let label = Array.of_list (Pst.node_label t node) in
+                 if Pst.node_count node <> Sequence.count_occurrences s ~pattern:label then
+                   ok := false
+               end);
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"prediction node label is a significant suffix" ~count:40
+         (QCheck.pair seq_gen (QCheck.int_range 1 5))
+         (fun (text, c) ->
+           let t = build ~significance:c [ text ] in
+           let s = Sequence.of_string alpha text in
+           let ok = ref true in
+           for pos = 0 to Array.length s - 1 do
+             let node = Pst.prediction_node t s ~lo:0 ~pos in
+             let label = Array.of_list (Pst.node_label t node) in
+             let context = Array.sub s 0 pos in
+             if not (Sequence.is_suffix_of label context) then ok := false;
+             if Pst.node_depth node > 0 && Pst.node_count node < c then ok := false
+           done;
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"smoothed probabilities are a distribution" ~count:40 seq_gen
+         (fun text ->
+           let t = build ~p_min:0.002 [ text ] in
+           let ok = ref true in
+           Pst.iter_nodes t (fun node ->
+               let dist = Pst.next_distribution t node in
+               let s = Array.fold_left ( +. ) 0.0 dist in
+               if Float.abs (s -. 1.0) > 1e-6 then ok := false;
+               Array.iter (fun p -> if p < 0.0 || p > 1.0 then ok := false) dist);
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"child count never exceeds parent count" ~count:30
+         (QCheck.list_of_size (QCheck.Gen.int_range 1 5) seq_gen)
+         (fun texts ->
+           (* The label of a child extends its parent's label, so it can
+              only occur at most as often. *)
+           let t = build texts in
+           let ok = ref true in
+           Pst.iter_nodes t (fun node ->
+               let c = Pst.node_count node in
+               let label = Array.of_list (Pst.node_label t node) in
+               (* every extension of the label by one front symbol *)
+               for sym = 0 to 3 do
+                 let ext = Array.append [| sym |] label in
+                 match Pst.find_node t ext with
+                 | Some child -> if Pst.node_count child > c then ok := false
+                 | None -> ()
+               done);
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"pruning never exceeds budget" ~count:40
+         (QCheck.pair (QCheck.list seq_gen) (QCheck.int_range 1 40))
+         (fun (texts, budget) ->
+           let t = Pst.create (cfg ~max_nodes:budget ()) in
+           List.iter (fun s -> Pst.insert_sequence t (Sequence.of_string alpha s)) texts;
+           Pst.n_nodes t <= budget));
+  ]
+
+let () =
+  Alcotest.run "pst"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "empty tree" `Quick test_empty_tree;
+          Alcotest.test_case "root count" `Quick test_root_count_is_total_symbols;
+          Alcotest.test_case "node counts" `Quick test_node_counts_match_occurrences;
+          Alcotest.test_case "next counts" `Quick test_next_counts_are_extension_counts;
+          Alcotest.test_case "probability vectors" `Quick test_probability_vector_sums_to_one;
+          Alcotest.test_case "hand-checked probabilities" `Quick test_figure1_style_probabilities;
+          Alcotest.test_case "max depth" `Quick test_max_depth_limits_nodes;
+          Alcotest.test_case "segment insert" `Quick test_insert_segment_matches_sub_sequence_insert;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "config validation" `Quick test_create_validation;
+          Alcotest.test_case "pretty printer" `Quick test_pp_renders;
+        ] );
+      ( "prediction",
+        [
+          Alcotest.test_case "longest significant suffix" `Quick
+            test_prediction_node_is_longest_significant_suffix;
+          Alcotest.test_case "empty context" `Quick test_prediction_node_empty_context;
+          Alcotest.test_case "depth cap" `Quick test_prediction_respects_max_depth;
+          Alcotest.test_case "uniform on empty tree" `Quick test_log_prob_uniform_on_empty;
+          Alcotest.test_case "smoothing bounds" `Quick test_smoothing_bounds;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "budget respected" `Quick test_pruning_budget_respected;
+          Alcotest.test_case "keeps high counts" `Quick test_prune_to_keeps_high_counts;
+          Alcotest.test_case "all strategies" `Quick test_pruning_strategies_all_respect_target;
+          Alcotest.test_case "longest-label removes deep" `Quick
+            test_longest_label_pruning_removes_deep_first;
+        ] );
+      ("property", qcheck_tests);
+    ]

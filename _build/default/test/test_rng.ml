@@ -1,0 +1,145 @@
+(* Unit and property tests for the SplitMix64 PRNG. *)
+
+let test_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_copy_independent () =
+  let a = Rng.create 5 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues the stream" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_split_diverges () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split stream differs" true (xa <> xb)
+
+let test_int_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "0 <= x < 17" true (x >= 0 && x < 17)
+  done
+
+let test_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_float_bounds () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 3.5 in
+    Alcotest.(check bool) "0 <= x < 3.5" true (x >= 0.0 && x < 3.5)
+  done
+
+let test_int_coverage () =
+  (* Every residue of a small bound appears over a long run. *)
+  let rng = Rng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 4 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 5 in
+  let s = Rng.sample_without_replacement rng ~k:10 ~n:20 in
+  Alcotest.(check int) "k elements" 10 (Array.length s);
+  let distinct = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 10 (List.length distinct);
+  Array.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 20)) s
+
+let test_sample_full () =
+  let rng = Rng.create 6 in
+  let s = Rng.sample_without_replacement rng ~k:7 ~n:7 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "k = n is a permutation" (Array.init 7 Fun.id) sorted
+
+let test_categorical () =
+  let rng = Rng.create 7 in
+  (* Mass concentrated on index 2. *)
+  let counts = Array.make 4 0 in
+  for _ = 1 to 2000 do
+    let i = Rng.categorical rng [| 0.01; 0.01; 10.0; 0.01 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "dominant index wins" true (counts.(2) > 1800)
+
+let test_categorical_zero_weight () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 500 do
+    let i = Rng.categorical rng [| 0.0; 1.0; 0.0 |] in
+    Alcotest.(check int) "only positive-weight index" 1 i
+  done
+
+let test_dirichlet_sums_to_one () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 20 do
+    let v = Rng.dirichlet_like rng ~concentration:0.3 11 in
+    let s = Array.fold_left ( +. ) 0.0 v in
+    Alcotest.(check (float 1e-9)) "sums to 1" 1.0 s;
+    Array.iter (fun x -> Alcotest.(check bool) "non-negative" true (x >= 0.0)) v
+  done
+
+let test_gaussian_moments () =
+  let rng = Rng.create 10 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check (float 0.05)) "mean ~ 0" 0.0 (Stats.mean xs);
+  Alcotest.(check (float 0.05)) "stddev ~ 1" 1.0 (Stats.stddev xs)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"int always within bound" ~count:500
+         QCheck.(pair small_int (int_range 1 1000))
+         (fun (seed, bound) ->
+           let rng = Rng.create seed in
+           let x = Rng.int rng bound in
+           x >= 0 && x < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+         QCheck.(pair small_int (list small_int))
+         (fun (seed, l) ->
+           let rng = Rng.create seed in
+           let a = Array.of_list l in
+           Rng.shuffle rng a;
+           List.sort compare (Array.to_list a) = List.sort compare l));
+  ]
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_diverges;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "int coverage" `Quick test_int_coverage;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "sample full" `Quick test_sample_full;
+          Alcotest.test_case "categorical" `Quick test_categorical;
+          Alcotest.test_case "categorical zero weight" `Quick test_categorical_zero_weight;
+          Alcotest.test_case "dirichlet sums to 1" `Quick test_dirichlet_sums_to_one;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+        ] );
+      ("property", qcheck_tests);
+    ]

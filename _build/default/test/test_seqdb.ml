@@ -1,0 +1,258 @@
+(* Tests for the sequence substrate: Alphabet, Sequence, Seq_database,
+   Seq_io. *)
+
+let test_alphabet_basic () =
+  let a = Alphabet.of_string "acgt" in
+  Alcotest.(check int) "size" 4 (Alphabet.size a);
+  Alcotest.(check (option int)) "code g" (Some 2) (Alphabet.code a "g");
+  Alcotest.(check string) "symbol 3" "t" (Alphabet.symbol a 3);
+  Alcotest.(check (option int)) "missing" None (Alphabet.code a "x");
+  Alcotest.(check (option int)) "char lookup" (Some 1) (Alphabet.code_of_char a 'c')
+
+let test_alphabet_duplicates () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Alphabet.of_symbols: duplicate symbol \"a\"") (fun () ->
+      ignore (Alphabet.of_symbols [ "a"; "b"; "a" ]))
+
+let test_alphabet_of_string_dedup () =
+  let a = Alphabet.of_string "abcabc" in
+  Alcotest.(check int) "deduplicated" 3 (Alphabet.size a)
+
+let test_alphabet_range () =
+  let a = Alphabet.of_char_range 'a' 'e' in
+  Alcotest.(check int) "size" 5 (Alphabet.size a);
+  Alcotest.(check string) "first" "a" (Alphabet.symbol a 0);
+  Alcotest.(check string) "last" "e" (Alphabet.symbol a 4)
+
+let test_encode_decode_roundtrip () =
+  let a = Alphabet.lowercase in
+  let s = "hellosequenceworld" in
+  Alcotest.(check string) "roundtrip" s (Alphabet.decode a (Alphabet.encode_string a s))
+
+let test_encode_unknown () =
+  let a = Alphabet.dna in
+  Alcotest.check_raises "unknown char"
+    (Failure "Alphabet.encode_string: 'x' not in alphabet") (fun () ->
+      ignore (Alphabet.encode_string a "acxg"))
+
+let test_standard_alphabets () =
+  Alcotest.(check int) "dna" 4 (Alphabet.size Alphabet.dna);
+  Alcotest.(check int) "amino acids" 20 (Alphabet.size Alphabet.amino_acids);
+  Alcotest.(check int) "lowercase" 26 (Alphabet.size Alphabet.lowercase)
+
+let test_sequence_predicates () =
+  let a = Alphabet.lowercase in
+  let s = Sequence.of_string a "abab" in
+  Alcotest.(check bool) "prefix ab" true (Sequence.is_prefix_of (Sequence.of_string a "ab") s);
+  Alcotest.(check bool) "suffix bab" true (Sequence.is_suffix_of (Sequence.of_string a "bab") s);
+  Alcotest.(check bool) "not suffix ab" false (Sequence.is_suffix_of (Sequence.of_string a "aa") s);
+  Alcotest.(check bool) "segment ba" true (Sequence.is_segment_of (Sequence.of_string a "ba") s);
+  Alcotest.(check bool) "abd is not a segment of abcdef" false
+    (Sequence.is_segment_of (Sequence.of_string a "abd") (Sequence.of_string a "abcdef"));
+  Alcotest.(check bool) "bcd is a segment of abcdef" true
+    (Sequence.is_segment_of (Sequence.of_string a "bcd") (Sequence.of_string a "abcdef"));
+  Alcotest.(check bool) "empty is a segment" true (Sequence.is_segment_of [||] s)
+
+let test_sequence_segment () =
+  let a = Alphabet.lowercase in
+  let s = Sequence.of_string a "abcdef" in
+  Alcotest.(check string) "segment" "cde" (Sequence.to_string a (Sequence.segment s ~lo:2 ~hi:4));
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Sequence.segment") (fun () ->
+      ignore (Sequence.segment s ~lo:4 ~hi:2))
+
+let test_sequence_reverse () =
+  let a = Alphabet.lowercase in
+  let s = Sequence.of_string a "abcd" in
+  Alcotest.(check string) "reverse" "dcba" (Sequence.to_string a (Sequence.reverse s));
+  Alcotest.(check bool) "reverse twice is identity" true
+    (Sequence.equal s (Sequence.reverse (Sequence.reverse s)))
+
+let test_count_occurrences () =
+  let a = Alphabet.lowercase in
+  let s = Sequence.of_string a "aaaa" in
+  Alcotest.(check int) "overlapping occurrences" 3
+    (Sequence.count_occurrences s ~pattern:(Sequence.of_string a "aa"));
+  Alcotest.(check int) "empty pattern" 0 (Sequence.count_occurrences s ~pattern:[||])
+
+let test_database_background () =
+  let a = Alphabet.of_string "ab" in
+  let db = Seq_database.of_strings a [ "aaab"; "a" ] in
+  (* 4 a's, 1 b over 5 symbols; add-one smoothing over |Σ| = 2. *)
+  let bg = Seq_database.background db in
+  Alcotest.(check (float 1e-6)) "p(a)" (5.0 /. 7.0) bg.(0);
+  Alcotest.(check (float 1e-6)) "p(b)" (2.0 /. 7.0) bg.(1);
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 bg);
+  let lbg = Seq_database.log_background db in
+  Alcotest.(check (float 1e-9)) "log cached consistent" (log (5.0 /. 7.0)) lbg.(0)
+
+let test_database_background_unseen_symbol_finite () =
+  let a = Alphabet.of_string "abc" in
+  let db = Seq_database.of_strings a [ "aaa" ] in
+  let lbg = Seq_database.log_background db in
+  Alcotest.(check bool) "unseen symbol has finite log prob" true (Float.is_finite lbg.(2))
+
+let test_database_stats () =
+  let a = Alphabet.lowercase in
+  let db = Seq_database.of_strings a [ "abc"; "defgh" ] in
+  Alcotest.(check int) "n" 2 (Seq_database.n_sequences db);
+  Alcotest.(check int) "total" 8 (Seq_database.total_symbols db);
+  Alcotest.(check (float 1e-9)) "avg" 4.0 (Seq_database.avg_length db)
+
+let test_database_bad_codes () =
+  let a = Alphabet.of_string "ab" in
+  Alcotest.(check bool) "code out of range rejected" true
+    (try
+       ignore (Seq_database.create a [| [| 0; 5 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_database_subset () =
+  let a = Alphabet.lowercase in
+  let db = Seq_database.of_strings a [ "aaa"; "bbb"; "ccc" ] in
+  let sub = Seq_database.subset db [| 2; 0 |] in
+  Alcotest.(check int) "subset size" 2 (Seq_database.n_sequences sub);
+  Alcotest.(check string) "order preserved" "ccc" (Sequence.to_string a (Seq_database.get sub 0))
+
+let with_tmp f =
+  let path = Filename.temp_file "cluseq_test" ".seq" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_io_labeled_roundtrip () =
+  with_tmp (fun path ->
+      let a = Alphabet.lowercase in
+      let rows =
+        [| ("fam1", Sequence.of_string a "abcabc"); ("fam2", Sequence.of_string a "zzz") |]
+      in
+      Seq_io.write_labeled path a rows;
+      let a', rows' = Seq_io.read_labeled ~alphabet:a path in
+      Alcotest.(check int) "same alphabet" (Alphabet.size a) (Alphabet.size a');
+      Alcotest.(check int) "row count" 2 (Array.length rows');
+      Alcotest.(check string) "label" "fam1" (fst rows'.(0));
+      Alcotest.(check string) "body" "abcabc" (Sequence.to_string a (snd rows'.(0))))
+
+let test_io_labeled_inferred_alphabet () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      output_string oc "x\tabba\n# comment line\n\ny\tcab\n";
+      close_out oc;
+      let a, rows = Seq_io.read_labeled path in
+      Alcotest.(check int) "inferred alphabet abc" 3 (Alphabet.size a);
+      Alcotest.(check int) "rows (comment and blank skipped)" 2 (Array.length rows))
+
+let test_io_labeled_malformed () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      output_string oc "no-tab-here\n";
+      close_out oc;
+      Alcotest.(check bool) "malformed line raises" true
+        (try
+           ignore (Seq_io.read_labeled path);
+           false
+         with Failure _ -> true))
+
+let test_io_fasta_roundtrip () =
+  with_tmp (fun path ->
+      let a = Alphabet.amino_acids in
+      let long = String.concat "" (List.init 10 (fun _ -> "acdefghik")) in
+      let rows =
+        [| ("globin", Sequence.of_string a long); ("kinase", Sequence.of_string a "mmm") |]
+      in
+      Seq_io.write_fasta path a rows;
+      let _, rows' = Seq_io.read_fasta ~alphabet:a path in
+      Alcotest.(check int) "rows" 2 (Array.length rows');
+      Alcotest.(check string) "label" "globin" (fst rows'.(0));
+      Alcotest.(check string) "long body reassembled from wrapped lines" long
+        (Sequence.to_string a (snd rows'.(0))))
+
+let test_io_tokens_roundtrip () =
+  with_tmp (fun path ->
+      let a = Alphabet.of_symbols [ "login"; "view"; "add-to-cart"; "checkout" ] in
+      let rows = [| ("buyer", [| 0; 1; 2; 3 |]); ("browser", [| 1; 1; 1 |]) |] in
+      Seq_io.write_tokens path a rows;
+      let a', rows' = Seq_io.read_tokens ~alphabet:a path in
+      Alcotest.(check int) "alphabet kept" 4 (Alphabet.size a');
+      Alcotest.(check bool) "rows roundtrip" true (rows = rows'))
+
+let test_io_tokens_inferred () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      output_string oc "x\tfoo bar foo\ny\tbaz\n";
+      close_out oc;
+      let a, rows = Seq_io.read_tokens path in
+      Alcotest.(check int) "3 distinct tokens" 3 (Alphabet.size a);
+      Alcotest.(check int) "first-appearance order" 0 (Alphabet.code_exn a "foo");
+      Alcotest.(check int) "rows" 2 (Array.length rows);
+      Alcotest.(check (array int)) "codes" [| 0; 1; 0 |] (snd rows.(0)))
+
+let test_io_tokens_unknown () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      output_string oc "x\tfoo mystery\n";
+      close_out oc;
+      let a = Alphabet.of_symbols [ "foo" ] in
+      Alcotest.(check bool) "unknown token raises" true
+        (try ignore (Seq_io.read_tokens ~alphabet:a path); false with Failure _ -> true))
+
+let qcheck_tests =
+  let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 0 100) (Gen.char_range 'a' 'f')) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"encode/decode roundtrip" ~count:300 seq_gen (fun s ->
+           let a = Alphabet.lowercase in
+           Alphabet.decode a (Alphabet.encode_string a s) = s));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"suffix and prefix are segments" ~count:300
+         (QCheck.pair seq_gen QCheck.small_nat)
+         (fun (s, k) ->
+           let a = Alphabet.lowercase in
+           let seq = Alphabet.encode_string a s in
+           let n = Array.length seq in
+           let k = if n = 0 then 0 else k mod (n + 1) in
+           let suffix = Array.sub seq (n - k) k in
+           let prefix = Array.sub seq 0 k in
+           Sequence.is_suffix_of suffix seq && Sequence.is_prefix_of prefix seq
+           && Sequence.is_segment_of suffix seq
+           && Sequence.is_segment_of prefix seq));
+  ]
+
+let () =
+  Alcotest.run "seqdb"
+    [
+      ( "alphabet",
+        [
+          Alcotest.test_case "basic" `Quick test_alphabet_basic;
+          Alcotest.test_case "duplicates" `Quick test_alphabet_duplicates;
+          Alcotest.test_case "of_string dedup" `Quick test_alphabet_of_string_dedup;
+          Alcotest.test_case "char range" `Quick test_alphabet_range;
+          Alcotest.test_case "roundtrip" `Quick test_encode_decode_roundtrip;
+          Alcotest.test_case "unknown char" `Quick test_encode_unknown;
+          Alcotest.test_case "standard alphabets" `Quick test_standard_alphabets;
+        ] );
+      ( "sequence",
+        [
+          Alcotest.test_case "predicates" `Quick test_sequence_predicates;
+          Alcotest.test_case "segment" `Quick test_sequence_segment;
+          Alcotest.test_case "reverse" `Quick test_sequence_reverse;
+          Alcotest.test_case "count occurrences" `Quick test_count_occurrences;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "background" `Quick test_database_background;
+          Alcotest.test_case "background unseen finite" `Quick
+            test_database_background_unseen_symbol_finite;
+          Alcotest.test_case "stats" `Quick test_database_stats;
+          Alcotest.test_case "bad codes" `Quick test_database_bad_codes;
+          Alcotest.test_case "subset" `Quick test_database_subset;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "labeled roundtrip" `Quick test_io_labeled_roundtrip;
+          Alcotest.test_case "inferred alphabet" `Quick test_io_labeled_inferred_alphabet;
+          Alcotest.test_case "malformed line" `Quick test_io_labeled_malformed;
+          Alcotest.test_case "fasta roundtrip" `Quick test_io_fasta_roundtrip;
+          Alcotest.test_case "tokens roundtrip" `Quick test_io_tokens_roundtrip;
+          Alcotest.test_case "tokens inferred" `Quick test_io_tokens_inferred;
+          Alcotest.test_case "tokens unknown" `Quick test_io_tokens_unknown;
+        ] );
+      ("property", qcheck_tests);
+    ]

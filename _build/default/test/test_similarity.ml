@@ -1,0 +1,180 @@
+(* Tests for the similarity DP (paper Sec. 4.3): the Kadane-style scan must
+   equal the explicit O(l²) maximization, and the recurrence must replicate
+   the paper's Table 1 mechanics. *)
+
+let alpha = Alphabet.lowercase
+
+let cfg ?(significance = 2) () : Pst.config =
+  { (Pst.default_config ~alphabet_size:26) with significance; p_min = 0.0 }
+
+let build ?significance texts =
+  let t = Pst.create (cfg ?significance ()) in
+  List.iter (fun s -> Pst.insert_sequence t (Sequence.of_string alpha s)) texts;
+  t
+
+let uniform_lbg = Array.make 26 (log (1.0 /. 26.0))
+
+let test_empty_sequence () =
+  let t = build [ "abab" ] in
+  let r = Similarity.score t ~log_background:uniform_lbg [||] in
+  Alcotest.(check bool) "empty is -inf" true (r.log_sim = neg_infinity)
+
+let test_dp_equals_brute_on_example () =
+  let t = build [ "ababababbbabab"; "babbaab" ] in
+  let s = Sequence.of_string alpha "abbaba" in
+  let fast = Similarity.score t ~log_background:uniform_lbg s in
+  let brute = Similarity.score_brute t ~log_background:uniform_lbg s in
+  Alcotest.(check (float 1e-9)) "same score" brute.log_sim fast.log_sim
+
+let test_best_segment_achieves_score () =
+  (* Recomputing the sum of X over the reported segment must reproduce the
+     reported score. *)
+  let t = build [ "abababab"; "ccc" ] in
+  let s = Sequence.of_string alpha "ccabab" in
+  let r = Similarity.score t ~log_background:uniform_lbg s in
+  let sum = ref 0.0 in
+  for i = r.seg_lo to r.seg_hi do
+    sum := !sum +. (Pst.log_prob t s ~lo:0 ~pos:i -. uniform_lbg.(s.(i)))
+  done;
+  Alcotest.(check (float 1e-9)) "segment sum = score" r.log_sim !sum
+
+let test_matching_scores_higher () =
+  let t = build [ "abababababab" ] in
+  let good = Similarity.score t ~log_background:uniform_lbg (Sequence.of_string alpha "ababab") in
+  let bad = Similarity.score t ~log_background:uniform_lbg (Sequence.of_string alpha "qzvkxw") in
+  Alcotest.(check bool) "in-style sequence scores higher" true (good.log_sim > bad.log_sim)
+
+let test_table1_recurrence () =
+  (* The paper's Table 1 mechanics with its exact numbers: X built from
+     given probabilities, then Y_i = max(Y_{i-1}·X_i, X_i),
+     Z_i = max(Z_{i-1}, Y_i), yielding SIM = 2.10 for sequence bbaa. *)
+  let p_cond = [| 0.55; 0.418; 0.87; 0.406 |] in
+  let p_bg = [| 0.4; 0.4; 0.6; 0.6 |] in
+  let x = Array.init 4 (fun i -> p_cond.(i) /. p_bg.(i)) in
+  let y = Array.make 4 0.0 and z = Array.make 4 0.0 in
+  y.(0) <- x.(0);
+  z.(0) <- x.(0);
+  for i = 1 to 3 do
+    y.(i) <- Float.max (y.(i - 1) *. x.(i)) x.(i);
+    z.(i) <- Float.max z.(i - 1) y.(i)
+  done;
+  (* Table 1 reports (rounded): X = 1.38 1.05 1.45 0.68; Y = 1.38 1.45
+     2.10 1.42; Z = 1.38 1.45 2.10 2.10. *)
+  (* Tolerances reflect that Table 1 itself prints rounded values (e.g.
+     its Y2 = 1.45 is 1.375·1.045 = 1.437 rounded up). *)
+  Alcotest.(check (float 0.01)) "X1" 1.38 x.(0);
+  Alcotest.(check (float 0.01)) "X2" 1.05 x.(1);
+  Alcotest.(check (float 0.01)) "X3" 1.45 x.(2);
+  Alcotest.(check (float 0.01)) "X4" 0.68 x.(3);
+  Alcotest.(check (float 0.03)) "Y3" 2.10 y.(2);
+  Alcotest.(check (float 0.03)) "SIM = Z4 = 2.10" 2.10 z.(3);
+  (* And the log-space DP used by the implementation gives the same. *)
+  let ly = ref neg_infinity and lz = ref neg_infinity in
+  Array.iter
+    (fun xi ->
+      let lx = log xi in
+      if !ly >= 0.0 then ly := !ly +. lx else ly := lx;
+      if !ly > !lz then lz := !ly)
+    x;
+  Alcotest.(check (float 1e-6)) "log DP matches linear DP" (log z.(3)) !lz
+
+let test_log_linear_conversion () =
+  Alcotest.(check (float 1e-9)) "log of linear" (log 1.52) (Similarity.log_of_linear 1.52);
+  Alcotest.(check (float 1e-9)) "roundtrip" 2.5
+    (Similarity.linear_of_log (Similarity.log_of_linear 2.5));
+  Alcotest.(check bool) "huge log does not overflow" true
+    (Float.is_finite (Similarity.linear_of_log 1000.0));
+  Alcotest.check_raises "non-positive threshold"
+    (Invalid_argument "Similarity.log_of_linear: t must be positive") (fun () ->
+      ignore (Similarity.log_of_linear 0.0))
+
+let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 1 40) (Gen.char_range 'a' 'd'))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"DP equals brute force" ~count:200
+         (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 1 5) seq_gen) seq_gen)
+         (fun (cluster, probe) ->
+           let t = build cluster in
+           let s = Sequence.of_string alpha probe in
+           let fast = Similarity.score t ~log_background:uniform_lbg s in
+           let brute = Similarity.score_brute t ~log_background:uniform_lbg s in
+           (* -inf = -inf for the empty-probe case (abs of their difference
+              is NaN). *)
+           fast.log_sim = brute.log_sim
+           || Float.abs (fast.log_sim -. brute.log_sim) < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"segment bounds valid" ~count:200
+         (QCheck.pair seq_gen seq_gen)
+         (fun (cluster, probe) ->
+           let t = build [ cluster ] in
+           let s = Sequence.of_string alpha probe in
+           let r = Similarity.score t ~log_background:uniform_lbg s in
+           r.seg_lo >= 0 && r.seg_lo <= r.seg_hi && r.seg_hi < Array.length s));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"score at least single best symbol" ~count:200
+         (QCheck.pair seq_gen seq_gen)
+         (fun (cluster, probe) ->
+           (* SIM maximizes over all segments, so it is >= the best
+              single-position ratio. *)
+           let t = build [ cluster ] in
+           let s = Sequence.of_string alpha probe in
+           let r = Similarity.score t ~log_background:uniform_lbg s in
+           let best_single = ref neg_infinity in
+           for i = 0 to Array.length s - 1 do
+             let x = Pst.log_prob t s ~lo:0 ~pos:i -. uniform_lbg.(s.(i)) in
+             if x > !best_single then best_single := x
+           done;
+           r.log_sim >= !best_single -. 1e-9));
+  ]
+
+let smoothed_tree texts =
+  let cfg = { (Pst.default_config ~alphabet_size:26) with significance = 2; p_min = 1e-3 } in
+  let t = Pst.create cfg in
+  List.iter (fun s -> Pst.insert_sequence t (Sequence.of_string alpha s)) texts;
+  t
+
+let qcheck_tests =
+  qcheck_tests
+  @ [
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~name:"smoothed scores always finite" ~count:200
+           (QCheck.pair seq_gen seq_gen)
+           (fun (cluster, probe) ->
+             let t = smoothed_tree [ cluster ] in
+             let r =
+               Similarity.score t ~log_background:uniform_lbg (Sequence.of_string alpha probe)
+             in
+             Float.is_finite r.log_sim));
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~name:"score monotone under cluster growth toward probe" ~count:100
+           seq_gen
+           (fun probe ->
+             (* Adding the probe itself to the cluster cannot decrease the
+                probe's similarity by much; with smoothing it should
+                strictly help on average. Weak form: score after >= score
+                before - 1 nat. *)
+             let before = smoothed_tree [ "abcd" ] in
+             let s = Sequence.of_string alpha probe in
+             let r1 = (Similarity.score before ~log_background:uniform_lbg s).log_sim in
+             Pst.insert_sequence before s;
+             Pst.insert_sequence before s;
+             let r2 = (Similarity.score before ~log_background:uniform_lbg s).log_sim in
+             r2 >= r1 -. 1.0));
+    ]
+
+let () =
+  Alcotest.run "similarity"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty sequence" `Quick test_empty_sequence;
+          Alcotest.test_case "DP = brute (example)" `Quick test_dp_equals_brute_on_example;
+          Alcotest.test_case "segment achieves score" `Quick test_best_segment_achieves_score;
+          Alcotest.test_case "matching scores higher" `Quick test_matching_scores_higher;
+          Alcotest.test_case "paper Table 1" `Quick test_table1_recurrence;
+          Alcotest.test_case "log/linear conversion" `Quick test_log_linear_conversion;
+        ] );
+      ("property", qcheck_tests);
+    ]

@@ -1,0 +1,111 @@
+(* Tests for Smallmap, checked against a Hashtbl model. *)
+
+let test_empty () =
+  let m : int Smallmap.t = Smallmap.create () in
+  Alcotest.(check int) "length 0" 0 (Smallmap.length m);
+  Alcotest.(check int) "find_idx missing" (-1) (Smallmap.find_idx m 5);
+  Alcotest.(check bool) "find_opt missing" true (Smallmap.find_opt m 5 = None)
+
+let test_set_find () =
+  let m = Smallmap.create () in
+  Smallmap.set m 10 "a";
+  Smallmap.set m 3 "b";
+  Smallmap.set m 7 "c";
+  Alcotest.(check int) "length" 3 (Smallmap.length m);
+  Alcotest.(check (option string)) "find 3" (Some "b") (Smallmap.find_opt m 3);
+  Alcotest.(check (option string)) "find 10" (Some "a") (Smallmap.find_opt m 10);
+  Smallmap.set m 10 "z";
+  Alcotest.(check (option string)) "overwrite" (Some "z") (Smallmap.find_opt m 10);
+  Alcotest.(check int) "overwrite keeps length" 3 (Smallmap.length m)
+
+let test_keys_sorted () =
+  let m = Smallmap.create () in
+  List.iter (fun k -> Smallmap.set m k k) [ 9; 2; 5; 1; 100; 0 ];
+  Alcotest.(check (array int)) "sorted keys" [| 0; 1; 2; 5; 9; 100 |] (Smallmap.keys m)
+
+let test_remove () =
+  let m = Smallmap.create () in
+  List.iter (fun k -> Smallmap.set m k (k * 2)) [ 1; 2; 3 ];
+  Smallmap.remove m 2;
+  Alcotest.(check int) "length" 2 (Smallmap.length m);
+  Alcotest.(check bool) "gone" true (Smallmap.find_opt m 2 = None);
+  Smallmap.remove m 99;
+  Alcotest.(check int) "remove absent is no-op" 2 (Smallmap.length m)
+
+let test_int_helpers () =
+  let m = Smallmap.create () in
+  Alcotest.(check int) "default 0" 0 (Smallmap.get_int m 4);
+  Smallmap.add_int m 4 3;
+  Smallmap.add_int m 4 2;
+  Alcotest.(check int) "accumulated" 5 (Smallmap.get_int m 4)
+
+let test_iter_fold () =
+  let m = Smallmap.create () in
+  List.iter (fun k -> Smallmap.set m k k) [ 3; 1; 2 ];
+  let order = ref [] in
+  Smallmap.iter (fun k _ -> order := k :: !order) m;
+  Alcotest.(check (list int)) "iter in key order" [ 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check int) "fold sum" 6 (Smallmap.fold (fun _ v acc -> acc + v) m 0)
+
+let test_negative_keys () =
+  let m = Smallmap.create () in
+  Smallmap.set m (-5) "neg";
+  Smallmap.set m 5 "pos";
+  Alcotest.(check (option string)) "negative key" (Some "neg") (Smallmap.find_opt m (-5));
+  Alcotest.(check (array int)) "sorted with negatives" [| -5; 5 |] (Smallmap.keys m)
+
+let ops_gen = QCheck.(list (pair (int_range 0 40) small_int))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"model: set/find against Hashtbl" ~count:300 ops_gen
+         (fun ops ->
+           let m = Smallmap.create () in
+           let h = Hashtbl.create 16 in
+           List.iter
+             (fun (k, v) ->
+               Smallmap.set m k v;
+               Hashtbl.replace h k v)
+             ops;
+           Smallmap.length m = Hashtbl.length h
+           && List.for_all
+                (fun k -> Smallmap.find_opt m k = Hashtbl.find_opt h k)
+                (List.init 41 Fun.id)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"model: add_int accumulates" ~count:300 ops_gen (fun ops ->
+           let m = Smallmap.create () in
+           let h = Hashtbl.create 16 in
+           List.iter
+             (fun (k, v) ->
+               Smallmap.add_int m k v;
+               Hashtbl.replace h k (v + Option.value ~default:0 (Hashtbl.find_opt h k)))
+             ops;
+           List.for_all
+             (fun k -> Smallmap.get_int m k = Option.value ~default:0 (Hashtbl.find_opt h k))
+             (List.init 41 Fun.id)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"keys always sorted" ~count:300 ops_gen (fun ops ->
+           let m = Smallmap.create () in
+           List.iter (fun (k, v) -> Smallmap.set m k v) ops;
+           let ks = Smallmap.keys m in
+           let sorted = Array.copy ks in
+           Array.sort compare sorted;
+           ks = sorted));
+  ]
+
+let () =
+  Alcotest.run "smallmap"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "set/find" `Quick test_set_find;
+          Alcotest.test_case "keys sorted" `Quick test_keys_sorted;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "int helpers" `Quick test_int_helpers;
+          Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+          Alcotest.test_case "negative keys" `Quick test_negative_keys;
+        ] );
+      ("property", qcheck_tests);
+    ]

@@ -1,0 +1,98 @@
+(* Unit and property tests for Stats: moments, regression, and the
+   prefix/suffix regression slopes backing the threshold valley detector. *)
+
+let test_mean () =
+  Alcotest.(check (float 1e-12)) "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Stats.mean [||]))
+
+let test_variance () =
+  Alcotest.(check (float 1e-12)) "variance" 1.25 (Stats.variance [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.(check (float 1e-12)) "constant variance" 0.0 (Stats.variance [| 3.0; 3.0; 3.0 |])
+
+let test_regression_exact_line () =
+  (* y = 2x + 1 recovered exactly. *)
+  let pts = Array.init 10 (fun i -> (float_of_int i, (2.0 *. float_of_int i) +. 1.0)) in
+  let slope, intercept = Stats.linear_regression pts in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept
+
+let test_regression_degenerate () =
+  let slope, intercept = Stats.linear_regression [| (1.0, 5.0) |] in
+  Alcotest.(check (float 1e-9)) "single point slope 0" 0.0 slope;
+  Alcotest.(check (float 1e-9)) "single point intercept = y" 5.0 intercept;
+  let slope, _ = Stats.linear_regression [| (2.0, 1.0); (2.0, 3.0) |] in
+  Alcotest.(check (float 1e-9)) "zero x-variance slope 0" 0.0 slope
+
+(* Reference implementation: recompute each window's slope from scratch. *)
+let naive_slopes x y =
+  let n = Array.length x in
+  let slope_of lo hi =
+    let pts = Array.init (hi - lo + 1) (fun i -> (x.(lo + i), y.(lo + i))) in
+    fst (Stats.linear_regression pts)
+  in
+  (Array.init n (fun i -> slope_of 0 i), Array.init n (fun i -> slope_of i (n - 1)))
+
+let test_prefix_suffix_slopes_match_naive () =
+  let x = Array.init 20 (fun i -> float_of_int i) in
+  let y = Array.map (fun v -> (v *. v) -. (3.0 *. v) +. 7.0) x in
+  let left, right = Stats.prefix_suffix_slopes ~x ~y in
+  let nleft, nright = naive_slopes x y in
+  Array.iteri
+    (fun i l -> Alcotest.(check (float 1e-6)) (Printf.sprintf "left %d" i) nleft.(i) l)
+    left;
+  Array.iteri
+    (fun i r -> Alcotest.(check (float 1e-6)) (Printf.sprintf "right %d" i) nright.(i) r)
+    right
+
+let test_percentile () =
+  let a = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.(check (float 1e-12)) "median" 3.0 (Stats.percentile a 50.0);
+  Alcotest.(check (float 1e-12)) "max" 5.0 (Stats.percentile a 100.0);
+  Alcotest.(check (float 1e-12)) "min" 1.0 (Stats.percentile a 1.0)
+
+let test_argmax () =
+  Alcotest.(check int) "argmax" 2 (Stats.argmax [| 1.0; 0.5; 9.0; 9.0 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.argmax: empty array") (fun () ->
+      ignore (Stats.argmax [||]))
+
+let qcheck_tests =
+  let float_list = QCheck.(list_of_size (Gen.int_range 2 30) (float_range (-100.0) 100.0)) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"prefix/suffix slopes match naive" ~count:200 float_list
+         (fun ys ->
+           let y = Array.of_list ys in
+           let x = Array.init (Array.length y) (fun i -> float_of_int i) in
+           let left, right = Stats.prefix_suffix_slopes ~x ~y in
+           let nleft, nright = naive_slopes x y in
+           let close a b = Float.abs (a -. b) < 1e-6 *. (1.0 +. Float.abs b) in
+           Array.for_all2 close left nleft && Array.for_all2 close right nright));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"variance non-negative" ~count:500 float_list (fun ys ->
+           Stats.variance (Array.of_list ys) >= 0.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"percentile within range" ~count:500
+         QCheck.(pair float_list (float_range 0.0 100.0))
+         (fun (ys, p) ->
+           let a = Array.of_list ys in
+           let v = Stats.percentile a p in
+           let lo = Array.fold_left Float.min a.(0) a in
+           let hi = Array.fold_left Float.max a.(0) a in
+           v >= lo && v <= hi));
+  ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "regression exact" `Quick test_regression_exact_line;
+          Alcotest.test_case "regression degenerate" `Quick test_regression_degenerate;
+          Alcotest.test_case "prefix/suffix slopes" `Quick test_prefix_suffix_slopes_match_naive;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "argmax" `Quick test_argmax;
+        ] );
+      ("property", qcheck_tests);
+    ]

@@ -1,0 +1,243 @@
+(* Tests for the synthetic workload generators. *)
+
+let test_pst_gen_lengths_and_range () =
+  let rng = Rng.create 1 in
+  let m = Pst_gen.random rng ~alphabet_size:8 () in
+  Alcotest.(check int) "alphabet size" 8 (Pst_gen.alphabet_size m);
+  let s = Pst_gen.generate m (Rng.create 2) ~len:500 in
+  Alcotest.(check int) "length" 500 (Array.length s);
+  Array.iter (fun c -> Alcotest.(check bool) "in range" true (c >= 0 && c < 8)) s
+
+let test_pst_gen_deterministic () =
+  let mk () =
+    let rng = Rng.create 5 in
+    let m = Pst_gen.random rng ~alphabet_size:6 () in
+    Pst_gen.generate m rng ~len:100
+  in
+  Alcotest.(check bool) "same seed, same sequence" true (mk () = mk ())
+
+let test_pst_gen_models_differ () =
+  let rng = Rng.create 7 in
+  let m1 = Pst_gen.random rng ~alphabet_size:6 ~concentration:0.15 () in
+  let m2 = Pst_gen.random rng ~alphabet_size:6 ~concentration:0.15 () in
+  let gen = Rng.create 9 in
+  let s1 = Pst_gen.generate m1 gen ~len:400 in
+  (* A sequence from m1 should be (much) more likely under m1 than m2. *)
+  Alcotest.(check bool) "own model likelier" true
+    (Pst_gen.log_likelihood m1 s1 > Pst_gen.log_likelihood m2 s1)
+
+let test_uniform_model () =
+  let m = Pst_gen.uniform ~alphabet_size:4 in
+  let s = Pst_gen.generate m (Rng.create 3) ~len:4000 in
+  let counts = Array.make 4 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) s;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true
+        (abs (c - 1000) < 200))
+    counts;
+  Alcotest.(check (float 1e-6)) "uniform likelihood" (-.(4000.0 *. log 4.0))
+    (Pst_gen.log_likelihood m s)
+
+let test_workload_shape () =
+  let p = { Workload.default_params with n_sequences = 100; n_clusters = 5; avg_length = 50;
+            outlier_fraction = 0.1; seed = 11 } in
+  let w = Workload.generate p in
+  Alcotest.(check int) "N sequences" 100 (Seq_database.n_sequences w.db);
+  Alcotest.(check int) "labels array" 100 (Array.length w.labels);
+  Alcotest.(check int) "10% outliers" 10 (Workload.outlier_count w);
+  Array.iter
+    (fun l -> Alcotest.(check bool) "label range" true (l >= -1 && l < 5))
+    w.labels;
+  (* Balanced clusters (±1). *)
+  let sizes = Array.make 5 0 in
+  Array.iter (fun l -> if l >= 0 then sizes.(l) <- sizes.(l) + 1) w.labels;
+  Array.iter (fun s -> Alcotest.(check int) "balanced" 18 s) sizes
+
+let test_workload_lengths () =
+  let p = { Workload.default_params with n_sequences = 50; avg_length = 100; seed = 12 } in
+  let w = Workload.generate p in
+  Seq_database.iteri
+    (fun _ s ->
+      let l = Array.length s in
+      Alcotest.(check bool) "length in ±50% band" true (l >= 50 && l <= 150))
+    w.db
+
+let test_workload_deterministic () =
+  let p = { Workload.default_params with n_sequences = 40; seed = 13 } in
+  let w1 = Workload.generate p and w2 = Workload.generate p in
+  Alcotest.(check bool) "same labels" true (w1.labels = w2.labels);
+  Alcotest.(check bool) "same sequences" true
+    (Seq_database.sequences w1.db = Seq_database.sequences w2.db)
+
+let test_workload_shared_base () =
+  let p = { Workload.default_params with n_sequences = 60; n_clusters = 3; avg_length = 400;
+            shared_base = true; contexts_per_cluster = 0; seed = 15 } in
+  (* With no contexts, shared-base clusters are *identical* order-0
+     sources: their empirical symbol marginals must be close. *)
+  let w = Workload.generate p in
+  let marginals = Array.make_matrix 3 26 0.0 in
+  let totals = Array.make 3 0.0 in
+  Seq_database.iteri
+    (fun i s ->
+      let l = w.labels.(i) in
+      if l >= 0 then begin
+        Array.iter (fun c -> marginals.(l).(c) <- marginals.(l).(c) +. 1.0) s;
+        totals.(l) <- totals.(l) +. float_of_int (Array.length s)
+      end)
+    w.db;
+  let l1 a b =
+    let acc = ref 0.0 in
+    for i = 0 to 25 do
+      acc := !acc +. Float.abs ((a.(i) /. totals.(0)) -. (b.(i) /. totals.(1)))
+    done;
+    !acc
+  in
+  Alcotest.(check bool) "order-0 marginals close" true (l1 marginals.(0) marginals.(1) < 0.15)
+
+let test_workload_validation () =
+  Alcotest.(check bool) "bad outlier fraction" true
+    (try
+       ignore (Workload.generate { Workload.default_params with outlier_fraction = 1.5 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_protein_shape () =
+  let p = { Protein_sim.default_params with n_families = 8; total_sequences = 160; seed = 21 } in
+  let d = Protein_sim.generate p in
+  Alcotest.(check int) "8 family sizes" 8 (Array.length d.family_sizes);
+  Alcotest.(check int) "sizes sum to total" 160 (Array.fold_left ( + ) 0 d.family_sizes);
+  Alcotest.(check int) "sequences" 160 (Seq_database.n_sequences d.db);
+  Alcotest.(check int) "amino alphabet" 20 (Alphabet.size (Seq_database.alphabet d.db));
+  (* Labels consistent with family sizes. *)
+  let counts = Array.make 8 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) d.labels;
+  Alcotest.(check (array int)) "label counts match sizes" d.family_sizes counts
+
+let test_protein_families_share_motifs () =
+  (* Two sequences of one family share planted motifs; quantify via
+     q-gram cosine: within-family similarity should exceed cross-family
+     similarity on average. *)
+  let p = { Protein_sim.default_params with n_families = 4; total_sequences = 40; seed = 22 } in
+  let d = Protein_sim.generate p in
+  let profiles = Array.map (Qgram.profile ~q:4) (Seq_database.sequences d.db) in
+  let within = ref 0.0 and nwithin = ref 0 and cross = ref 0.0 and ncross = ref 0 in
+  let n = Array.length profiles in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let c = Qgram.cosine profiles.(i) profiles.(j) in
+      if d.labels.(i) = d.labels.(j) then begin
+        within := !within +. c;
+        incr nwithin
+      end
+      else begin
+        cross := !cross +. c;
+        incr ncross
+      end
+    done
+  done;
+  let within = !within /. float_of_int !nwithin in
+  let cross = !cross /. float_of_int !ncross in
+  Alcotest.(check bool)
+    (Printf.sprintf "within (%.3f) > cross (%.3f)" within cross)
+    true (within > cross)
+
+let test_protein_validation () =
+  Alcotest.(check bool) "too few sequences" true
+    (try
+       ignore
+         (Protein_sim.generate
+            { Protein_sim.default_params with n_families = 30; total_sequences = 10 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_language_shape () =
+  let p = { Language_sim.per_language = 30; n_noise = 10; min_len = 40; max_len = 100; seed = 31 } in
+  let d = Language_sim.generate p in
+  Alcotest.(check int) "total" 100 (Seq_database.n_sequences d.db);
+  let counts = Hashtbl.create 4 in
+  Array.iter
+    (fun l -> Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+    d.labels;
+  Alcotest.(check int) "english" 30 (Hashtbl.find counts 0);
+  Alcotest.(check int) "chinese" 30 (Hashtbl.find counts 1);
+  Alcotest.(check int) "japanese" 30 (Hashtbl.find counts 2);
+  Alcotest.(check int) "noise" 10 (Hashtbl.find counts (-1))
+
+let test_language_sentence_bounds () =
+  let rng = Rng.create 32 in
+  List.iter
+    (fun lang ->
+      for _ = 1 to 50 do
+        let s = Language_sim.sentence rng lang ~min_len:40 ~max_len:100 in
+        Alcotest.(check bool)
+          (Language_sim.language_name lang ^ " length in bounds")
+          true
+          (String.length s >= 40 && String.length s <= 100);
+        String.iter
+          (fun ch -> Alcotest.(check bool) "lowercase only" true (ch >= 'a' && ch <= 'z'))
+          s
+      done)
+    [ Language_sim.English; Chinese; Japanese; Russian; German ]
+
+let test_language_statistics_differ () =
+  (* The paper's observations should hold in the generators: "th" is
+     frequent in English and absent from pinyin/romaji. *)
+  let rng = Rng.create 33 in
+  let count_digraph lang d =
+    let total = ref 0 in
+    for _ = 1 to 50 do
+      let s = Language_sim.sentence rng lang ~min_len:60 ~max_len:120 in
+      for i = 0 to String.length s - 2 do
+        if String.sub s i 2 = d then incr total
+      done
+    done;
+    !total
+  in
+  let en_th = count_digraph Language_sim.English "th" in
+  let zh_th = count_digraph Language_sim.Chinese "th" in
+  let ja_th = count_digraph Language_sim.Japanese "th" in
+  Alcotest.(check bool)
+    (Printf.sprintf "th: en=%d >> zh=%d, ja=%d" en_th zh_th ja_th)
+    true
+    (en_th > 10 * (zh_th + 1) && en_th > 10 * (ja_th + 1))
+
+let test_language_validation () =
+  Alcotest.(check bool) "bad lengths" true
+    (try
+       ignore (Language_sim.sentence (Rng.create 1) Language_sim.English ~min_len:10 ~max_len:5);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "pst-gen",
+        [
+          Alcotest.test_case "lengths and range" `Quick test_pst_gen_lengths_and_range;
+          Alcotest.test_case "deterministic" `Quick test_pst_gen_deterministic;
+          Alcotest.test_case "models differ" `Quick test_pst_gen_models_differ;
+          Alcotest.test_case "uniform model" `Quick test_uniform_model;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "shape" `Quick test_workload_shape;
+          Alcotest.test_case "lengths" `Quick test_workload_lengths;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+          Alcotest.test_case "shared base" `Quick test_workload_shared_base;
+        ] );
+      ( "protein",
+        [
+          Alcotest.test_case "shape" `Quick test_protein_shape;
+          Alcotest.test_case "families share motifs" `Quick test_protein_families_share_motifs;
+          Alcotest.test_case "validation" `Quick test_protein_validation;
+        ] );
+      ( "language",
+        [
+          Alcotest.test_case "shape" `Quick test_language_shape;
+          Alcotest.test_case "sentence bounds" `Quick test_language_sentence_bounds;
+          Alcotest.test_case "statistics differ" `Quick test_language_statistics_differ;
+          Alcotest.test_case "validation" `Quick test_language_validation;
+        ] );
+    ]
