@@ -1,0 +1,37 @@
+# Convenience targets; `make check` is the one CI should run.
+
+.PHONY: all build test bench check fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Full gate: build, unit tests, and a CLI smoke run that exercises the
+# metrics pipeline end to end (generate -> cluster --metrics -> grep).
+check: build test
+	@tmp=$$(mktemp -d); \
+	dune exec bin/cluseq_cli.exe -- generate --kind synthetic --num 60 --len 60 \
+	  --clusters 3 -o $$tmp/smoke.tsv >/dev/null; \
+	dune exec bin/cluseq_cli.exe -- cluster $$tmp/smoke.tsv --significance 4 \
+	  --metrics=$$tmp/smoke.json >/dev/null 2>&1; \
+	grep -q '"pst.insertions"' $$tmp/smoke.json \
+	  && grep -q '"similarity.calls"' $$tmp/smoke.json \
+	  && grep -q '"cluseq.iter.reclustering_seconds"' $$tmp/smoke.json \
+	  || { echo "check: metrics smoke test FAILED ($$tmp/smoke.json)"; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "check: OK"
+
+# Requires ocamlformat (pinned in .ocamlformat); not installed in every
+# environment, so this is not part of `check`.
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- --scale 0.5  # half-size workloads
      dune exec bench/main.exe -- --list       # experiment inventory
      dune exec bench/main.exe -- --csv out/   # also write tables as CSV
+     dune exec bench/main.exe -- --metrics-dir out/  # per-experiment metrics JSON
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
 
    Each experiment regenerates one table or figure of the paper's
@@ -18,8 +19,10 @@ let list_experiments () =
   Printf.printf "  %-10s %s\n" "micro" "Bechamel micro-benchmarks of core primitives"
 
 let () =
+  Obs.Logging.setup ();
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 1.0 in
+  let metrics_dir = ref None in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -28,6 +31,9 @@ let () =
         exit 0
     | "--csv" :: dir :: rest ->
         Bench_util.csv_dir := Some dir;
+        parse rest
+    | "--metrics-dir" :: dir :: rest ->
+        metrics_dir := Some dir;
         parse rest
     | "--scale" :: v :: rest ->
         (match float_of_string_opt v with
@@ -63,7 +69,21 @@ let () =
     (fun (id, f) ->
       Printf.printf "\n################ %s ################\n%!" id;
       Bench_util.current_experiment := id;
+      (match !metrics_dir with
+      | None -> ()
+      | Some _ ->
+          (* Fresh, enabled registry per experiment so each JSON reflects
+             that experiment alone. *)
+          Obs.reset ();
+          Obs.Metrics.enable ());
       let (), secs = Timer.time (fun () -> f !scale) in
+      (match !metrics_dir with
+      | None -> ()
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = Filename.concat dir (id ^ ".json") in
+          Obs.Export.write_file path (Obs.Export.to_json ());
+          Printf.printf "[metrics written to %s]\n%!" path);
       total := !total +. secs;
       Printf.printf "[%s completed in %.1fs]\n%!" id secs)
     to_run;

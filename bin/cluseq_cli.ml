@@ -13,6 +13,74 @@
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
+(* Observability arguments (shared by every subcommand)                *)
+(* ------------------------------------------------------------------ *)
+
+let emit_metrics dest () =
+  match dest with
+  | "" | "-" -> prerr_string (Obs.Export.summary ())
+  | file -> (
+      let contents =
+        if Filename.check_suffix file ".prom" || Filename.check_suffix file ".txt" then
+          Obs.Export.to_prometheus ()
+        else Obs.Export.to_json ()
+      in
+      (* Runs from at_exit: an escaping exception would mask the run's
+         result with a fatal-error banner. *)
+      try
+        Obs.Export.write_file file contents;
+        Printf.eprintf "metrics written to %s\n" file
+      with Sys_error msg -> Printf.eprintf "cluseq: cannot write metrics: %s\n" msg)
+
+let emit_trace () = Format.eprintf "== trace ==@\n%a@?" Obs.Trace.pp ()
+
+(* Returns the verbosity count; reports are emitted via [at_exit] so a
+   subcommand needs no explicit teardown. *)
+let setup_obs verbosity metrics trace =
+  let vcount = List.length verbosity in
+  Obs.Logging.setup ~level:(Obs.Logging.level_of_verbosity vcount) ();
+  (match metrics with
+  | None -> ()
+  | Some dest ->
+      Obs.Metrics.enable ();
+      at_exit (emit_metrics dest));
+  if trace then begin
+    Obs.Trace.enable ();
+    at_exit emit_trace
+  end;
+  vcount
+
+let obs_term =
+  let verbosity =
+    Arg.(
+      value & flag_all
+      & info [ "v"; "verbose" ]
+          ~doc:
+            "Increase log verbosity (repeatable: -v info, -vv debug); for $(b,cluster), also \
+             print per-iteration statistics. The $(b,CLUSEQ_LOG) environment variable \
+             overrides the log level.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Record pipeline metrics (PST growth, similarity scans, per-phase timings). With \
+             no $(docv), print a summary to stderr on exit; with $(docv), write a report: \
+             Prometheus text format if $(docv) ends in .prom or .txt, JSON otherwise.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record a tree of timed spans (run / iteration / phase) and print it to stderr \
+             on exit.")
+  in
+  Term.(const setup_obs $ verbosity $ metrics $ trace)
+
+(* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -47,7 +115,7 @@ let generate_cmd =
     Arg.(value & opt float 0.15 & info [ "separation" ] ~docv:"F" ~doc:"Context peakedness; smaller = better-separated clusters (synthetic only).")
   in
   let out = Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.") in
-  let run kind n len k sigma outliers contexts concentration seed out =
+  let run _vcount kind n len k sigma outliers contexts concentration seed out =
     let rows, alphabet =
       match kind with
       | `Synthetic ->
@@ -98,7 +166,9 @@ let generate_cmd =
     Printf.printf "wrote %d sequences to %s\n" (Array.length rows) out
   in
   let term =
-    Term.(const run $ kind $ n $ len $ k $ sigma $ outliers $ contexts $ concentration $ seed_arg $ out)
+    Term.(
+      const run $ obs_term $ kind $ n $ len $ k $ sigma $ outliers $ contexts $ concentration
+      $ seed_arg $ out)
   in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a labeled synthetic sequence database.") term
 
@@ -142,19 +212,24 @@ let cluster_cmd =
   let assignments_out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write per-sequence assignments (id, clusters) to FILE.")
   in
-  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-iteration statistics.") in
-  let run file config assignments_out verbose =
+  let run vcount file config assignments_out =
     let alphabet, rows = Seq_io.read_labeled file in
     let db, _labels = Seq_io.to_database alphabet rows in
     let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
     Printf.printf "clusters: %d  iterations: %d  final t: %.4g  outliers: %d  time: %.2fs\n"
       result.n_clusters result.iterations result.final_t (List.length result.outliers) seconds;
-    if verbose then
+    if vcount > 0 then
       List.iter
         (fun (h : Cluseq.iteration_stats) ->
           Printf.printf "  iter %2d: new=%d consolidated=%d clusters=%d unclustered=%d t=%.4g changes=%d\n"
             h.iteration h.new_clusters h.consolidated h.clusters h.unclustered h.threshold
-            h.membership_changes)
+            h.membership_changes;
+          match h.timings with
+          | None -> ()
+          | Some t ->
+              Printf.printf
+                "           phases: gen %.3fs recluster %.3fs consolidate %.3fs threshold %.3fs converge %.3fs\n"
+                t.generation_s t.reclustering_s t.consolidation_s t.threshold_s t.convergence_s)
         result.history;
     Array.iter
       (fun (id, members) -> Printf.printf "cluster %d: %d sequences\n" id (Array.length members))
@@ -172,7 +247,7 @@ let cluster_cmd =
               result.assignments);
         Printf.printf "assignments written to %s\n" out
   in
-  let term = Term.(const run $ file_arg 0 $ config_args $ assignments_out $ verbose) in
+  let term = Term.(const run $ obs_term $ file_arg 0 $ config_args $ assignments_out) in
   Cmd.v (Cmd.info "cluster" ~doc:"Run CLUSEQ on a sequence file.") term
 
 (* ------------------------------------------------------------------ *)
@@ -183,7 +258,7 @@ let train_cmd =
   let model_out =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trained classifier model to FILE.")
   in
-  let run file config model_out =
+  let run _vcount file config model_out =
     let alphabet, rows = Seq_io.read_labeled file in
     let db, _ = Seq_io.to_database alphabet rows in
     let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
@@ -196,7 +271,7 @@ let train_cmd =
 " model_out
       (Classifier.n_clusters clf)
   in
-  let term = Term.(const run $ file_arg 0 $ config_args $ model_out) in
+  let term = Term.(const run $ obs_term $ file_arg 0 $ config_args $ model_out) in
   Cmd.v
     (Cmd.info "train" ~doc:"Cluster a sequence file and save the models for later classification.")
     term
@@ -205,7 +280,7 @@ let classify_cmd =
   let model_arg =
     Arg.(required & opt (some string) None & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Classifier model from 'cluseq train'.")
   in
-  let run file model =
+  let run _vcount file model =
     let clf = Classifier.load model in
     (* Encode with the model's own alphabet: an independently inferred
        alphabet would permute symbol codes. *)
@@ -227,7 +302,7 @@ let classify_cmd =
 "
       (Array.length verdicts) !outliers (Classifier.threshold clf) (Classifier.n_clusters clf)
   in
-  let term = Term.(const run $ file_arg 0 $ model_arg) in
+  let term = Term.(const run $ obs_term $ file_arg 0 $ model_arg) in
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify sequences against a trained model.")
     term
@@ -237,7 +312,7 @@ let classify_cmd =
 (* ------------------------------------------------------------------ *)
 
 let evaluate_cmd =
-  let run file config =
+  let run _vcount file config =
     let alphabet, rows = Seq_io.read_labeled file in
     let db, label_names = Seq_io.to_database alphabet rows in
     (* Ground truth: numeric labels, "-1" marking outliers. *)
@@ -260,7 +335,7 @@ let evaluate_cmd =
     Printf.printf "outlier detection: precision %.1f%% recall %.1f%%\n"
       (100.0 *. out.precision) (100.0 *. out.recall)
   in
-  let term = Term.(const run $ file_arg 0 $ config_args) in
+  let term = Term.(const run $ obs_term $ file_arg 0 $ config_args) in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Cluster a labeled file and score against its ground truth.")
     term
@@ -270,7 +345,7 @@ let evaluate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let info_cmd =
-  let run file =
+  let run _vcount file =
     let alphabet, rows = Seq_io.read_labeled file in
     let db, labels = Seq_io.to_database alphabet rows in
     Printf.printf "sequences: %d\n" (Seq_database.n_sequences db);
@@ -280,7 +355,7 @@ let info_cmd =
     let distinct = List.sort_uniq compare (Array.to_list labels) in
     Printf.printf "distinct labels: %d\n" (List.length distinct)
   in
-  let term = Term.(const run $ file_arg 0) in
+  let term = Term.(const run $ obs_term $ file_arg 0) in
   Cmd.v (Cmd.info "info" ~doc:"Print statistics of a sequence file.") term
 
 let () =

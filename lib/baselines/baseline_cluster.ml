@@ -10,7 +10,10 @@ let method_name = function
   | Hmm _ -> "HMM"
   | Qgram _ -> "q-gram"
 
-let run rng ~k m db =
+let m_runs = Obs.Metrics.counter "baseline.runs"
+let h_run = Obs.Metrics.histogram "baseline.run_seconds"
+
+let run_method rng ~k m db =
   let n = Seq_database.n_sequences db in
   let seqs = Seq_database.sequences db in
   match m with
@@ -34,3 +37,11 @@ let run rng ~k m db =
       (Hmm.cluster rng ~k ~n_states ~n_symbols ~rounds:1 ~em_iterations:8 ~init_labels:init seqs)
         .labels
   | Qgram q -> (Qgram.cluster rng ~k ~q seqs).labels
+
+let run rng ~k m db =
+  Obs.Metrics.incr m_runs;
+  Obs.Trace.with_span ("baseline." ^ method_name m) @@ fun () ->
+  let t0 = if Obs.Metrics.is_enabled () then Timer.now_ns () else 0L in
+  let labels = run_method rng ~k m db in
+  if Obs.Metrics.is_enabled () then Obs.Metrics.observe h_run (Timer.span_s t0 (Timer.now_ns ()));
+  labels

@@ -2,6 +2,18 @@ let log_src = Logs.Src.create "cluseq" ~doc:"CLUSEQ clustering iterations"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let m_runs = Obs.Metrics.counter "cluseq.runs"
+let m_iterations = Obs.Metrics.counter "cluseq.iterations"
+let g_clusters = Obs.Metrics.gauge "cluseq.clusters"
+let g_final_t = Obs.Metrics.gauge "cluseq.final_t"
+
+(* The five phases of one iteration, in execution order; indexes into
+   [h_phase] and the per-iteration timing array in [run]. *)
+let phase_names = [| "generation"; "reclustering"; "consolidation"; "threshold"; "convergence" |]
+
+let h_phase =
+  Array.map (fun p -> Obs.Metrics.histogram ("cluseq.iter." ^ p ^ "_seconds")) phase_names
+
 type config = {
   k_init : int;
   significance : int;
@@ -37,6 +49,14 @@ let default_config =
     seed = 42;
   }
 
+type phase_timings = {
+  generation_s : float;
+  reclustering_s : float;
+  consolidation_s : float;
+  threshold_s : float;
+  convergence_s : float;
+}
+
 type iteration_stats = {
   iteration : int;
   new_clusters : int;
@@ -45,6 +65,7 @@ type iteration_stats = {
   unclustered : int;
   threshold : float;
   membership_changes : int;
+  timings : phase_timings option;
 }
 
 type result = {
@@ -181,6 +202,23 @@ let run ?(config = default_config) db =
   let cfg = config in
   if cfg.k_init < 1 then invalid_arg "Cluseq.run: k_init must be >= 1";
   if cfg.t_init < 1.0 then invalid_arg "Cluseq.run: t_init must be >= 1";
+  Obs.Metrics.incr m_runs;
+  Obs.Trace.with_span "cluseq.run" @@ fun () ->
+  (* Per-iteration phase durations (seconds); only filled while metrics
+     are enabled so disabled runs skip the clock reads entirely. *)
+  let phase_s = Array.make (Array.length phase_names) 0.0 in
+  let phase idx f =
+    Obs.Trace.with_span phase_names.(idx) (fun () ->
+        if Obs.Metrics.is_enabled () then begin
+          let t0 = Timer.now_ns () in
+          let r = f () in
+          let dt = Timer.span_s t0 (Timer.now_ns ()) in
+          phase_s.(idx) <- dt;
+          Obs.Metrics.observe h_phase.(idx) dt;
+          r
+        end
+        else f ())
+  in
   let n = Seq_database.n_sequences db in
   let lbg = Seq_database.log_background db in
   let rng = Rng.create cfg.seed in
@@ -197,29 +235,32 @@ let run ?(config = default_config) db =
   let converged = ref false in
   while (not !converged) && !iterations < cfg.max_iterations do
     incr iterations;
+    Obs.Metrics.incr m_iterations;
+    Obs.Trace.with_span "iteration" @@ fun () ->
     let iter = !iterations in
     (* --- 1. new cluster generation --- *)
-    let k' = List.length !clusters in
-    let unclustered =
-      List.filter (fun i -> !assignments.(i) = []) (List.init n Fun.id)
-    in
-    let k_n =
-      if iter = 1 then cfg.k_init
-      else begin
-        let f =
-          if !prev_k_n = 0 then 0.0
-          else float_of_int (max (!prev_k_n - !prev_k_c) 0) /. float_of_int !prev_k_n
-        in
-        let k_n = int_of_float (Float.round (float_of_int k' *. f)) in
-        (* f = 0 is a fixed point of the paper's growth formula; keep probing
-           with one seed per iteration while unclustered sequences remain (a
-           fruitless seed attracts < c exclusive members and is consolidated
-           away the same iteration, so termination is unaffected). *)
-        if unclustered = [] then 0 else max k_n 1
-      end
-    in
-    let k_n = min k_n (List.length unclustered) in
     let fresh =
+      phase 0 @@ fun () ->
+      let k' = List.length !clusters in
+      let unclustered =
+        List.filter (fun i -> !assignments.(i) = []) (List.init n Fun.id)
+      in
+      let k_n =
+        if iter = 1 then cfg.k_init
+        else begin
+          let f =
+            if !prev_k_n = 0 then 0.0
+            else float_of_int (max (!prev_k_n - !prev_k_c) 0) /. float_of_int !prev_k_n
+          in
+          let k_n = int_of_float (Float.round (float_of_int k' *. f)) in
+          (* f = 0 is a fixed point of the paper's growth formula; keep probing
+             with one seed per iteration while unclustered sequences remain (a
+             fruitless seed attracts < c exclusive members and is consolidated
+             away the same iteration, so termination is unaffected). *)
+          if unclustered = [] then 0 else max k_n 1
+        end
+      in
+      let k_n = min k_n (List.length unclustered) in
       generate_new_clusters cfg db rng ~next_id:!next_id ~clusters:!clusters
         ~unclustered ~k_n
     in
@@ -230,91 +271,103 @@ let run ?(config = default_config) db =
        afresh: re-inserting stable members every iteration would inflate
        counts without information, making member similarities (and then the
        threshold valley) grow without bound. *)
-    let prev_members = Hashtbl.create 16 in
-    List.iter
-      (fun cl -> Hashtbl.replace prev_members (Cluster.id cl) (Bitset.copy (Cluster.members cl)))
-      !clusters;
-    List.iter Cluster.clear_members !clusters;
-    let order = Order.arrange cfg.order rng ~n ~best:!best in
-    let new_best = Array.make n None in
-    let new_assignments = Array.make n [] in
-    let samples = ref [] and n_samples = ref 0 in
-    let log_t = Threshold.log_t threshold in
-    Array.iter
-      (fun sid ->
-        let s = Seq_database.get db sid in
-        List.iter
-          (fun cl ->
-            let r = Cluster.similarity cl ~log_background:lbg s in
-            if Float.is_finite r.log_sim then begin
-              samples := r.log_sim :: !samples;
-              incr n_samples
-            end;
-            if r.log_sim >= log_t then begin
-              let was_member =
-                match Hashtbl.find_opt prev_members (Cluster.id cl) with
-                | Some ms -> Bitset.mem ms sid
-                | None -> false
-              in
-              if was_member then Cluster.add_member cl sid
-              else Cluster.absorb cl ~seq_id:sid s r;
-              new_assignments.(sid) <- Cluster.id cl :: new_assignments.(sid)
-            end;
-            (match new_best.(sid) with
-            | Some (_, b) when b >= r.log_sim -> ()
-            | _ ->
-                if Float.is_finite r.log_sim then new_best.(sid) <- Some (Cluster.id cl, r.log_sim)))
-          !clusters)
-      order;
-    Array.iteri (fun i l -> new_assignments.(i) <- List.rev l) new_assignments;
+    let new_best, new_assignments, samples =
+      phase 1 @@ fun () ->
+      let prev_members = Hashtbl.create 16 in
+      List.iter
+        (fun cl -> Hashtbl.replace prev_members (Cluster.id cl) (Bitset.copy (Cluster.members cl)))
+        !clusters;
+      List.iter Cluster.clear_members !clusters;
+      let order = Order.arrange cfg.order rng ~n ~best:!best in
+      let new_best = Array.make n None in
+      let new_assignments = Array.make n [] in
+      let samples = ref [] and n_samples = ref 0 in
+      let log_t = Threshold.log_t threshold in
+      Array.iter
+        (fun sid ->
+          let s = Seq_database.get db sid in
+          List.iter
+            (fun cl ->
+              let r = Cluster.similarity cl ~log_background:lbg s in
+              if Float.is_finite r.log_sim then begin
+                samples := r.log_sim :: !samples;
+                incr n_samples
+              end;
+              if r.log_sim >= log_t then begin
+                let was_member =
+                  match Hashtbl.find_opt prev_members (Cluster.id cl) with
+                  | Some ms -> Bitset.mem ms sid
+                  | None -> false
+                in
+                if was_member then Cluster.add_member cl sid
+                else Cluster.absorb cl ~seq_id:sid s r;
+                new_assignments.(sid) <- Cluster.id cl :: new_assignments.(sid)
+              end;
+              (match new_best.(sid) with
+              | Some (_, b) when b >= r.log_sim -> ()
+              | _ ->
+                  if Float.is_finite r.log_sim then new_best.(sid) <- Some (Cluster.id cl, r.log_sim)))
+            !clusters)
+        order;
+      Array.iteri (fun i l -> new_assignments.(i) <- List.rev l) new_assignments;
+      (new_best, new_assignments, !samples)
+    in
     (* --- 3. consolidation --- *)
-    let retained, dropped =
-      if cfg.consolidate then consolidate ~min_residual !clusters else (!clusters, 0)
+    let dropped =
+      phase 2 @@ fun () ->
+      let retained, dropped =
+        if cfg.consolidate then consolidate ~min_residual !clusters else (!clusters, 0)
+      in
+      clusters := retained;
+      (* Strip memberships of dismissed clusters. *)
+      if dropped > 0 then begin
+        let alive = List.map Cluster.id retained in
+        Array.iteri
+          (fun i l -> new_assignments.(i) <- List.filter (fun c -> List.mem c alive) l)
+          new_assignments
+      end;
+      dropped
     in
-    clusters := retained;
-    (* Strip memberships of dismissed clusters. *)
-    if dropped > 0 then begin
-      let alive = List.map Cluster.id retained in
-      Array.iteri
-        (fun i l -> new_assignments.(i) <- List.filter (fun c -> List.mem c alive) l)
-        new_assignments
-    end;
     (* --- 4. threshold adjustment --- *)
-    if cfg.adjust_threshold then
-      Threshold.adjust threshold (Array.of_list !samples);
+    phase 3 (fun () ->
+        if cfg.adjust_threshold then Threshold.adjust threshold (Array.of_list samples));
     (* --- 5. convergence test --- *)
-    let memberships =
-      List.map (fun cl -> (Cluster.id cl, Bitset.to_list (Cluster.members cl))) !clusters
-    in
-    let changes =
-      let prev_tbl = Hashtbl.create 16 in
-      List.iter (fun (id, ms) -> Hashtbl.replace prev_tbl id ms) !prev_memberships;
-      let changed = Array.make n false in
-      List.iter
-        (fun (id, ms) ->
-          let old = Option.value ~default:[] (Hashtbl.find_opt prev_tbl id) in
-          let mark l l' =
-            List.iter (fun i -> if not (List.mem i l') then changed.(i) <- true) l
-          in
-          mark ms old;
-          mark old ms)
-        memberships;
-      (* clusters that disappeared entirely *)
-      List.iter
-        (fun (id, ms) ->
-          if not (List.mem_assoc id memberships) then
-            List.iter (fun i -> changed.(i) <- true) ms)
-        !prev_memberships;
-      Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 changed
-    in
-    (* The clustering is final only once the threshold has also settled:
-       t moves halfway toward the valley each iteration, so an unchanged
-       membership under a still-moving t is not yet a fixed point. *)
-    let threshold_settled = (not cfg.adjust_threshold) || Threshold.frozen threshold in
-    let stable =
-      iter > 1 && changes = 0
-      && List.length memberships = List.length !prev_memberships
-      && threshold_settled
+    let memberships, changes, stable =
+      phase 4 @@ fun () ->
+      let memberships =
+        List.map (fun cl -> (Cluster.id cl, Bitset.to_list (Cluster.members cl))) !clusters
+      in
+      let changes =
+        let prev_tbl = Hashtbl.create 16 in
+        List.iter (fun (id, ms) -> Hashtbl.replace prev_tbl id ms) !prev_memberships;
+        let changed = Array.make n false in
+        List.iter
+          (fun (id, ms) ->
+            let old = Option.value ~default:[] (Hashtbl.find_opt prev_tbl id) in
+            let mark l l' =
+              List.iter (fun i -> if not (List.mem i l') then changed.(i) <- true) l
+            in
+            mark ms old;
+            mark old ms)
+          memberships;
+        (* clusters that disappeared entirely *)
+        List.iter
+          (fun (id, ms) ->
+            if not (List.mem_assoc id memberships) then
+              List.iter (fun i -> changed.(i) <- true) ms)
+          !prev_memberships;
+        Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 changed
+      in
+      (* The clustering is final only once the threshold has also settled:
+         t moves halfway toward the valley each iteration, so an unchanged
+         membership under a still-moving t is not yet a fixed point. *)
+      let threshold_settled = (not cfg.adjust_threshold) || Threshold.frozen threshold in
+      let stable =
+        iter > 1 && changes = 0
+        && List.length memberships = List.length !prev_memberships
+        && threshold_settled
+      in
+      (memberships, changes, stable)
     in
     prev_memberships := memberships;
     prev_k_n := List.length fresh;
@@ -337,10 +390,23 @@ let run ?(config = default_config) db =
         unclustered = unclustered_now;
         threshold = Threshold.linear_t threshold;
         membership_changes = changes;
+        timings =
+          (if Obs.Metrics.is_enabled () then
+             Some
+               {
+                 generation_s = phase_s.(0);
+                 reclustering_s = phase_s.(1);
+                 consolidation_s = phase_s.(2);
+                 threshold_s = phase_s.(3);
+                 convergence_s = phase_s.(4);
+               }
+           else None);
       }
       :: !history;
     if stable then converged := true
   done;
+  Obs.Metrics.set g_clusters (float_of_int (List.length !clusters));
+  Obs.Metrics.set g_final_t (Threshold.linear_t threshold);
   Log.info (fun m ->
       m "done: %d clusters in %d iterations (final t = %.4g)" (List.length !clusters)
         !iterations (Threshold.linear_t threshold));

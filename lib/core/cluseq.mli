@@ -52,6 +52,17 @@ val default_config : config
     on, fixed order, [sample_factor = 5], [max_iterations = 50],
     [seed = 42]. *)
 
+type phase_timings = {
+  generation_s : float;  (** New-cluster generation (Sec. 4.1). *)
+  reclustering_s : float;  (** Sequence reclustering scan (Sec. 4.2). *)
+  consolidation_s : float;  (** Cluster consolidation (Sec. 4.5). *)
+  threshold_s : float;  (** Threshold adjustment (Sec. 4.6). *)
+  convergence_s : float;  (** Membership-diff convergence test. *)
+}
+(** Wall-clock seconds spent in each phase of one iteration, measured
+    on the monotonic clock. The same durations feed the
+    [cluseq.iter.<phase>_seconds] histograms of {!Obs.Metrics}. *)
+
 type iteration_stats = {
   iteration : int;  (** 1-based iteration number. *)
   new_clusters : int;  (** Clusters seeded this iteration ({m k_n}). *)
@@ -60,6 +71,11 @@ type iteration_stats = {
   unclustered : int;  (** Sequences in no cluster. *)
   threshold : float;  (** Linear [t] at iteration end. *)
   membership_changes : int;  (** Sequences whose membership set changed. *)
+  timings : phase_timings option;
+      (** Per-phase wall-clock breakdown; [Some] only when
+          [Obs.Metrics] was enabled during the run, so that disabled
+          runs pay no clock reads and results stay structurally equal
+          across identically-seeded runs. *)
 }
 
 type result = {

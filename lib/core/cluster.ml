@@ -1,5 +1,7 @@
 type t = { id : int; pst : Pst.t; members : Bitset.t }
 
+let m_absorbs = Obs.Metrics.counter "cluster.absorbs"
+
 let create ~id ~capacity cfg seed =
   let pst = Pst.create cfg in
   Pst.insert_sequence pst seed;
@@ -15,6 +17,7 @@ let clear_members t = Bitset.clear t.members
 let similarity t ~log_background s = Similarity.score t.pst ~log_background s
 
 let absorb t ~seq_id s (r : Similarity.result) =
+  Obs.Metrics.incr m_absorbs;
   add_member t seq_id;
   if r.seg_lo >= 0 && r.seg_hi >= r.seg_lo then
     Pst.insert_segment t.pst s ~lo:r.seg_lo ~hi:r.seg_hi

@@ -1,3 +1,13 @@
+let log_src = Logs.Src.create "online" ~doc:"Streaming CLUSEQ feed and mining"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_fed = Obs.Metrics.counter "online.fed"
+let m_assigned = Obs.Metrics.counter "online.assigned"
+let m_mined_clusters = Obs.Metrics.counter "online.mined_clusters"
+let m_dropped_outliers = Obs.Metrics.counter "online.dropped_outliers"
+let h_mine = Obs.Metrics.histogram "online.mine_seconds"
+
 type live_cluster = {
   id : int;
   pst : Pst.t;
@@ -84,6 +94,8 @@ let score_against t s =
 (* Mining: run batch CLUSEQ over the buffered sequences; each discovered
    cluster becomes a live cluster, and its members leave the buffer. *)
 let mine t =
+  Obs.Trace.with_span "online.mine" @@ fun () ->
+  let t0 = if Obs.Metrics.is_enabled () then Timer.now_ns () else 0L in
   let pending = Array.of_seq (Queue.to_seq t.buffer) in
   if Array.length pending < 2 then 0
   else begin
@@ -126,11 +138,18 @@ let mine t =
     Queue.clear t.buffer;
     Array.iteri (fun i s -> if not taken.(i) then Queue.add s t.buffer) pending;
     t.mined_clusters <- t.mined_clusters + !fresh;
+    Obs.Metrics.incr ~by:!fresh m_mined_clusters;
+    if Obs.Metrics.is_enabled () then
+      Obs.Metrics.observe h_mine (Timer.span_s t0 (Timer.now_ns ()));
+    Log.debug (fun m ->
+        m "mined %d clusters from %d buffered sequences (%d still buffered)" !fresh
+          (Array.length pending) (Queue.length t.buffer));
     !fresh
   end
 
 let feed t s =
   t.fed <- t.fed + 1;
+  Obs.Metrics.incr m_fed;
   observe_symbols t s;
   let scored = score_against t s in
   let joined =
@@ -141,12 +160,14 @@ let feed t s =
       Queue.add s t.buffer;
       while Queue.length t.buffer > t.buffer_capacity do
         ignore (Queue.pop t.buffer);
-        t.dropped_outliers <- t.dropped_outliers + 1
+        t.dropped_outliers <- t.dropped_outliers + 1;
+        Obs.Metrics.incr m_dropped_outliers
       done;
       if Queue.length t.buffer >= t.mine_at then ignore (mine t);
       None
   | _ ->
       t.assigned <- t.assigned + 1;
+      Obs.Metrics.incr m_assigned;
       (* Update every matching cluster (overlap, Sec. 4.2); report the
          best. *)
       let best = ref None in

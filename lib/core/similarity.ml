@@ -2,12 +2,17 @@ type result = { log_sim : float; seg_lo : int; seg_hi : int }
 
 let empty_result = { log_sim = neg_infinity; seg_lo = -1; seg_hi = -1 }
 
+let m_calls = Obs.Metrics.counter "similarity.calls"
+let m_symbols_scanned = Obs.Metrics.counter "similarity.symbols_scanned"
+
 let xs pst ~log_background s =
   Array.init (Array.length s) (fun i ->
       Pst.log_prob pst s ~lo:0 ~pos:i -. log_background.(s.(i)))
 
 let score pst ~log_background s =
   let l = Array.length s in
+  Obs.Metrics.incr m_calls;
+  Obs.Metrics.incr ~by:l m_symbols_scanned;
   if l = 0 then empty_result
   else begin
     let y = ref neg_infinity in

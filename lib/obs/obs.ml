@@ -1,0 +1,409 @@
+(* Process-global observability: a metrics registry (counters, gauges,
+   fixed-bucket histograms), span-based tracing on the monotonic clock,
+   and exporters (human summary, JSON, Prometheus text format).
+
+   Everything is single-domain mutable state — lock-free by construction
+   in the current runtime. Instrumented code pays one [bool ref]
+   dereference per event while disabled, so leaving call sites
+   permanently instrumented is free. *)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  let enabled = ref false
+  let enable () = enabled := true
+  let disable () = enabled := false
+  let is_enabled () = !enabled
+
+  type counter = { c_name : string; mutable c_value : int }
+  type gauge = { g_name : string; mutable g_value : float }
+
+  type histogram = {
+    h_name : string;
+    bounds : float array; (* strictly increasing bucket upper bounds *)
+    counts : int array; (* length bounds + 1; last is the +Inf bucket *)
+    mutable h_sum : float;
+    mutable h_count : int;
+  }
+
+  type entry = Counter of counter | Gauge of gauge | Histogram of histogram
+
+  let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+  let kind_mismatch name =
+    invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered with a different kind" name)
+
+  let counter name =
+    match Hashtbl.find_opt registry name with
+    | Some (Counter c) -> c
+    | Some _ -> kind_mismatch name
+    | None ->
+        let c = { c_name = name; c_value = 0 } in
+        Hashtbl.add registry name (Counter c);
+        c
+
+  let incr ?(by = 1) c = if !enabled then c.c_value <- c.c_value + by
+  let counter_value c = c.c_value
+  let counter_name c = c.c_name
+
+  let gauge name =
+    match Hashtbl.find_opt registry name with
+    | Some (Gauge g) -> g
+    | Some _ -> kind_mismatch name
+    | None ->
+        let g = { g_name = name; g_value = 0.0 } in
+        Hashtbl.add registry name (Gauge g);
+        g
+
+  let set g v = if !enabled then g.g_value <- v
+  let gauge_value g = g.g_value
+  let gauge_name g = g.g_name
+
+  (* Log-ish spacing from 1µs to 1min: latency histograms over the whole
+     range the pipeline produces, from single similarity scans to full
+     clustering phases. *)
+  let default_time_buckets =
+    [| 1e-6; 1e-5; 1e-4; 1e-3; 5e-3; 1e-2; 5e-2; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
+
+  let histogram ?(buckets = default_time_buckets) name =
+    match Hashtbl.find_opt registry name with
+    | Some (Histogram h) -> h
+    | Some _ -> kind_mismatch name
+    | None ->
+        let n = Array.length buckets in
+        if n = 0 then invalid_arg "Obs.Metrics.histogram: empty buckets";
+        for i = 1 to n - 1 do
+          if buckets.(i) <= buckets.(i - 1) then
+            invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing"
+        done;
+        let h =
+          { h_name = name; bounds = Array.copy buckets; counts = Array.make (n + 1) 0;
+            h_sum = 0.0; h_count = 0 }
+        in
+        Hashtbl.add registry name (Histogram h);
+        h
+
+  let observe h v =
+    if !enabled then begin
+      let n = Array.length h.bounds in
+      let i = ref 0 in
+      while !i < n && v > h.bounds.(!i) do
+        i := !i + 1
+      done;
+      h.counts.(!i) <- h.counts.(!i) + 1;
+      h.h_sum <- h.h_sum +. v;
+      h.h_count <- h.h_count + 1
+    end
+
+  let histogram_count h = h.h_count
+  let histogram_sum h = h.h_sum
+  let histogram_name h = h.h_name
+
+  let bucket_counts h =
+    let n = Array.length h.bounds in
+    Array.init (n + 1) (fun i -> ((if i = n then infinity else h.bounds.(i)), h.counts.(i)))
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ e ->
+        match e with
+        | Counter c -> c.c_value <- 0
+        | Gauge g -> g.g_value <- 0.0
+        | Histogram h ->
+            Array.fill h.counts 0 (Array.length h.counts) 0;
+            h.h_sum <- 0.0;
+            h.h_count <- 0)
+      registry
+
+  (* Registered entries sorted by name, for the exporters. *)
+  let entries () =
+    Hashtbl.fold (fun name e acc -> (name, e) :: acc) registry []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  let enabled = ref false
+  let enable () = enabled := true
+  let disable () = enabled := false
+  let is_enabled () = !enabled
+
+  type span = {
+    span_name : string;
+    start_ns : int64;
+    mutable stop_ns : int64; (* 0 while the span is open *)
+    mutable rev_children : span list;
+  }
+
+  let roots_rev : span list ref = ref []
+  let stack : span list ref = ref []
+  let start_hooks : (span -> unit) list ref = ref []
+  let stop_hooks : (span -> unit) list ref = ref []
+
+  let on_start f = start_hooks := !start_hooks @ [ f ]
+  let on_stop f = stop_hooks := !stop_hooks @ [ f ]
+  let clear_hooks () =
+    start_hooks := [];
+    stop_hooks := []
+
+  let name sp = sp.span_name
+  let children sp = List.rev sp.rev_children
+
+  let duration_ns sp =
+    Int64.sub (if sp.stop_ns = 0L then Timer.now_ns () else sp.stop_ns) sp.start_ns
+
+  let duration_s sp = Int64.to_float (duration_ns sp) /. 1e9
+
+  let with_span name f =
+    if not !enabled then f ()
+    else begin
+      let sp = { span_name = name; start_ns = Timer.now_ns (); stop_ns = 0L; rev_children = [] } in
+      (match !stack with
+      | parent :: _ -> parent.rev_children <- sp :: parent.rev_children
+      | [] -> roots_rev := sp :: !roots_rev);
+      stack := sp :: !stack;
+      List.iter (fun h -> h sp) !start_hooks;
+      Fun.protect
+        ~finally:(fun () ->
+          sp.stop_ns <- Timer.now_ns ();
+          (match !stack with s :: rest when s == sp -> stack := rest | _ -> ());
+          List.iter (fun h -> h sp) !stop_hooks)
+        f
+    end
+
+  let roots () = List.rev !roots_rev
+
+  let reset () =
+    roots_rev := [];
+    stack := []
+
+  let pp ppf () =
+    let rec go indent sp =
+      Format.fprintf ppf "%s%s  %.3f ms@\n" (String.make indent ' ') sp.span_name
+        (duration_s sp *. 1e3);
+      List.iter (go (indent + 2)) (children sp)
+    in
+    List.iter (go 0) (roots ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Export = struct
+  let json_escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let json_float v =
+    if Float.is_finite v then Printf.sprintf "%.17g" v
+    else "null" (* JSON has no Inf/NaN literal *)
+
+  let to_json () =
+    let b = Buffer.create 4096 in
+    let comma first = if !first then first := false else Buffer.add_string b "," in
+    Buffer.add_string b "{\n  \"counters\": {";
+    let first = ref true in
+    List.iter
+      (fun (name, e) ->
+        match e with
+        | Metrics.Counter c ->
+            comma first;
+            Buffer.add_string b
+              (Printf.sprintf "\n    \"%s\": %d" (json_escape name) (Metrics.counter_value c))
+        | _ -> ())
+      (Metrics.entries ());
+    Buffer.add_string b "\n  },\n  \"gauges\": {";
+    let first = ref true in
+    List.iter
+      (fun (name, e) ->
+        match e with
+        | Metrics.Gauge g ->
+            comma first;
+            Buffer.add_string b
+              (Printf.sprintf "\n    \"%s\": %s" (json_escape name)
+                 (json_float (Metrics.gauge_value g)))
+        | _ -> ())
+      (Metrics.entries ());
+    Buffer.add_string b "\n  },\n  \"histograms\": {";
+    let first = ref true in
+    List.iter
+      (fun (name, e) ->
+        match e with
+        | Metrics.Histogram h ->
+            comma first;
+            Buffer.add_string b
+              (Printf.sprintf "\n    \"%s\": { \"count\": %d, \"sum\": %s, \"buckets\": ["
+                 (json_escape name) (Metrics.histogram_count h)
+                 (json_float (Metrics.histogram_sum h)));
+            let bfirst = ref true in
+            Array.iter
+              (fun (le, count) ->
+                comma bfirst;
+                let le_str =
+                  if Float.is_finite le then json_float le else "\"+Inf\""
+                in
+                Buffer.add_string b (Printf.sprintf "{ \"le\": %s, \"count\": %d }" le_str count))
+              (Metrics.bucket_counts h);
+            Buffer.add_string b "] }"
+        | _ -> ())
+      (Metrics.entries ());
+    Buffer.add_string b "\n  }";
+    (match Trace.roots () with
+    | [] -> ()
+    | roots ->
+        Buffer.add_string b ",\n  \"spans\": [";
+        let rec emit_span first sp =
+          comma first;
+          Buffer.add_string b
+            (Printf.sprintf "{ \"name\": \"%s\", \"duration_ns\": %Ld, \"children\": ["
+               (json_escape (Trace.name sp)) (Trace.duration_ns sp));
+          let cfirst = ref true in
+          List.iter (emit_span cfirst) (Trace.children sp);
+          Buffer.add_string b "] }"
+        in
+        let sfirst = ref true in
+        List.iter (emit_span sfirst) roots;
+        Buffer.add_string b "]");
+    Buffer.add_string b "\n}\n";
+    Buffer.contents b
+
+  (* Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. *)
+  let prom_name s =
+    let s = String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_') s in
+    if s = "" || match s.[0] with '0' .. '9' -> true | _ -> false then "_" ^ s else s
+
+  let prom_float v =
+    if v = infinity then "+Inf"
+    else if v = neg_infinity then "-Inf"
+    else if Float.is_nan v then "NaN"
+    else
+      (* Shortest representation that round-trips, so bucket labels read
+         as "0.005" rather than "0.0050000000000000001". *)
+      let s = Printf.sprintf "%g" v in
+      if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+  let to_prometheus () =
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun (name, e) ->
+        let pname = prom_name name in
+        match e with
+        | Metrics.Counter c ->
+            Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" pname);
+            Buffer.add_string b (Printf.sprintf "%s %d\n" pname (Metrics.counter_value c))
+        | Metrics.Gauge g ->
+            Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" pname);
+            Buffer.add_string b (Printf.sprintf "%s %s\n" pname (prom_float (Metrics.gauge_value g)))
+        | Metrics.Histogram h ->
+            Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" pname);
+            let cumulative = ref 0 in
+            Array.iter
+              (fun (le, count) ->
+                cumulative := !cumulative + count;
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname (prom_float le) !cumulative))
+              (Metrics.bucket_counts h);
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum %s\n" pname (prom_float (Metrics.histogram_sum h)));
+            Buffer.add_string b (Printf.sprintf "%s_count %d\n" pname (Metrics.histogram_count h)))
+      (Metrics.entries ());
+    Buffer.contents b
+
+  let pp_summary ppf () =
+    let entries = Metrics.entries () in
+    let width =
+      List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 entries
+    in
+    let counters = List.filter (fun (_, e) -> match e with Metrics.Counter _ -> true | _ -> false) entries in
+    let gauges = List.filter (fun (_, e) -> match e with Metrics.Gauge _ -> true | _ -> false) entries in
+    let histograms = List.filter (fun (_, e) -> match e with Metrics.Histogram _ -> true | _ -> false) entries in
+    Format.fprintf ppf "== metrics ==@\n";
+    if counters <> [] then begin
+      Format.fprintf ppf "counters:@\n";
+      List.iter
+        (fun (name, e) ->
+          match e with
+          | Metrics.Counter c ->
+              Format.fprintf ppf "  %-*s %d@\n" width name (Metrics.counter_value c)
+          | _ -> ())
+        counters
+    end;
+    if gauges <> [] then begin
+      Format.fprintf ppf "gauges:@\n";
+      List.iter
+        (fun (name, e) ->
+          match e with
+          | Metrics.Gauge g ->
+              Format.fprintf ppf "  %-*s %g@\n" width name (Metrics.gauge_value g)
+          | _ -> ())
+        gauges
+    end;
+    if histograms <> [] then begin
+      Format.fprintf ppf "histograms:@\n";
+      List.iter
+        (fun (name, e) ->
+          match e with
+          | Metrics.Histogram h ->
+              let n = Metrics.histogram_count h in
+              let mean = if n = 0 then 0.0 else Metrics.histogram_sum h /. float_of_int n in
+              Format.fprintf ppf "  %-*s n=%d mean=%.6g sum=%.6g@\n" width name n mean
+                (Metrics.histogram_sum h)
+          | _ -> ())
+        histograms
+    end;
+    match Trace.roots () with
+    | [] -> ()
+    | _ ->
+        Format.fprintf ppf "spans:@\n";
+        Trace.pp ppf ()
+
+  let summary () = Format.asprintf "%a" pp_summary ()
+
+  let write_file path contents =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Logging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Logging = struct
+  let level_of_verbosity n =
+    if n <= 0 then Some Logs.Warning else if n = 1 then Some Logs.Info else Some Logs.Debug
+
+  let setup ?(level = Some Logs.Warning) () =
+    let level =
+      match Sys.getenv_opt "CLUSEQ_LOG" with
+      | Some s -> (
+          match Logs.level_of_string (String.trim s) with Ok l -> l | Error _ -> level)
+      | None -> level
+    in
+    Logs.set_level level;
+    Logs.set_reporter (Logs_fmt.reporter ~app:Fmt.stderr ~dst:Fmt.stderr ())
+end
+
+let enable_all () =
+  Metrics.enable ();
+  Trace.enable ()
+
+let reset () =
+  Metrics.reset ();
+  Trace.reset ()

@@ -1,0 +1,174 @@
+(** Observability for the CLUSEQ pipeline: a process-global metrics
+    registry, span-based tracing on the monotonic clock, and exporters.
+
+    Design constraints (see DESIGN.md §6):
+
+    - {b Single-domain, lock-free.} All state is plain mutable OCaml
+      data; the current runtime is single-domain, so no locks are
+      needed or taken.
+    - {b Free when disabled.} Both metrics and tracing default to
+      disabled; an instrumented call site then costs one [bool ref]
+      dereference and branch (a few ns at most), so hot paths stay
+      permanently instrumented.
+    - {b Find-or-create registration.} Instruments are registered by
+      name at module-initialization time ([let c = Obs.Metrics.counter
+      "pst.insertions"]) and the returned handle is used directly on
+      the hot path — no per-event name lookup. Requesting the same name
+      twice returns the same instrument; requesting it with a different
+      kind raises [Invalid_argument]. *)
+
+(** Counters, gauges, and fixed-bucket histograms. *)
+module Metrics : sig
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val is_enabled : unit -> bool
+  (** Metrics recording is off by default: all [incr]/[set]/[observe]
+      calls are no-ops until {!enable}. *)
+
+  (** {1 Counters} *)
+
+  type counter
+  (** A monotonically increasing integer. *)
+
+  val counter : string -> counter
+  (** [counter name] finds or creates the counter registered as
+      [name]. *)
+
+  val incr : ?by:int -> counter -> unit
+  (** [incr ?by c] adds [by] (default 1) when metrics are enabled. *)
+
+  val counter_value : counter -> int
+  val counter_name : counter -> string
+
+  (** {1 Gauges} *)
+
+  type gauge
+  (** A floating-point value that can go up and down. *)
+
+  val gauge : string -> gauge
+  val set : gauge -> float -> unit
+  val gauge_value : gauge -> float
+  val gauge_name : gauge -> string
+
+  (** {1 Histograms} *)
+
+  type histogram
+  (** A fixed-bucket distribution: observations land in the first
+      bucket whose upper bound is ≥ the value, or in the implicit
+      [+Inf] overflow bucket. *)
+
+  val default_time_buckets : float array
+  (** Log-spaced latency buckets from 1µs to 60s, suitable for both
+      single similarity scans and whole clustering phases. *)
+
+  val histogram : ?buckets:float array -> string -> histogram
+  (** [histogram ?buckets name] finds or creates a histogram with the
+      given strictly-increasing upper bounds (default
+      {!default_time_buckets}). [buckets] is ignored when [name] is
+      already registered. *)
+
+  val observe : histogram -> float -> unit
+  val histogram_count : histogram -> int
+  val histogram_sum : histogram -> float
+  val histogram_name : histogram -> string
+
+  val bucket_counts : histogram -> (float * int) array
+  (** Per-bucket (upper bound, count) pairs, non-cumulative; the last
+      entry's bound is [infinity]. *)
+
+  val reset : unit -> unit
+  (** Zero every registered instrument in place. Handles held by
+      instrumented modules stay valid. *)
+
+  (**/**)
+
+  type entry = Counter of counter | Gauge of gauge | Histogram of histogram
+
+  val entries : unit -> (string * entry) list
+  (** Registered instruments sorted by name (exporter interface). *)
+
+  (**/**)
+end
+
+(** Span-based tracing: a tree of timed spans on the monotonic clock. *)
+module Trace : sig
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val is_enabled : unit -> bool
+  (** Tracing is off by default: {!with_span} then runs its thunk
+      directly, recording nothing. *)
+
+  type span
+
+  val with_span : string -> (unit -> 'a) -> 'a
+  (** [with_span name f] runs [f ()] inside a span: the span nests
+      under the innermost open span (or becomes a root), is timed with
+      {!Timer.now_ns}, and is closed even if [f] raises. *)
+
+  val name : span -> string
+  val children : span -> span list
+
+  val duration_ns : span -> int64
+  (** Duration of the span; for a still-open span, the time elapsed so
+      far. *)
+
+  val duration_s : span -> float
+
+  val on_start : (span -> unit) -> unit
+  (** Register a hook called when any span opens (after it is pushed,
+      so [duration_ns] is live). *)
+
+  val on_stop : (span -> unit) -> unit
+  (** Register a hook called when any span closes. *)
+
+  val clear_hooks : unit -> unit
+
+  val roots : unit -> span list
+  (** Completed-or-open root spans, oldest first. *)
+
+  val reset : unit -> unit
+  (** Drop all recorded spans (and any open-span stack). *)
+
+  val pp : Format.formatter -> unit -> unit
+  (** Render the span forest as an indented tree with durations. *)
+end
+
+(** Render the registry (and span forest, if any) in three formats. *)
+module Export : sig
+  val pp_summary : Format.formatter -> unit -> unit
+  (** Human-readable summary: counters, gauges, histogram count/mean,
+      span tree. *)
+
+  val summary : unit -> string
+
+  val to_json : unit -> string
+  (** JSON object with ["counters"], ["gauges"], ["histograms"] (count,
+      sum, per-bucket [le]/count), and — when spans were recorded —
+      ["spans"] (name, duration_ns, children). *)
+
+  val to_prometheus : unit -> string
+  (** Prometheus text exposition format; metric names are sanitized
+      ([pst.insertions] → [pst_insertions]) and histogram buckets are
+      cumulative, per the format's conventions. *)
+
+  val write_file : string -> string -> unit
+  (** [write_file path contents] writes [contents] to [path]. *)
+end
+
+(** {!Logs} reporter installation shared by the CLI and the bench. *)
+module Logging : sig
+  val level_of_verbosity : int -> Logs.level option
+  (** 0 → [Warning], 1 → [Info], ≥ 2 → [Debug]. *)
+
+  val setup : ?level:Logs.level option -> unit -> unit
+  (** Install an [Fmt]-based reporter writing to stderr and set the
+      global level. The [CLUSEQ_LOG] environment variable (a
+      {!Logs.level_of_string} value, e.g. [debug]) overrides [level]
+      (default [Warning]). *)
+end
+
+val enable_all : unit -> unit
+(** Enable both metrics and tracing. *)
+
+val reset : unit -> unit
+(** {!Metrics.reset} + {!Trace.reset}. *)

@@ -1,3 +1,16 @@
+let log_src = Logs.Src.create "pst" ~doc:"Probabilistic suffix tree maintenance"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Hot-path instruments: registered once at module init, each event is a
+   single branch while metrics are disabled (see Obs). *)
+let m_insertions = Obs.Metrics.counter "pst.insertions"
+let m_symbols_inserted = Obs.Metrics.counter "pst.symbols_inserted"
+let m_node_creations = Obs.Metrics.counter "pst.node_creations"
+let m_prunings = Obs.Metrics.counter "pst.prunings"
+let m_nodes_pruned = Obs.Metrics.counter "pst.nodes_pruned"
+let m_prediction_lookups = Obs.Metrics.counter "pst.prediction_lookups"
+
 type config = {
   alphabet_size : int;
   max_depth : int;
@@ -74,7 +87,9 @@ let detach t n =
   | Some p ->
       if Smallmap.find_idx p.children n.sym >= 0 then begin
         Smallmap.remove p.children n.sym;
-        t.n_nodes <- t.n_nodes - subtree_size n
+        let sz = subtree_size n in
+        t.n_nodes <- t.n_nodes - sz;
+        Obs.Metrics.incr ~by:sz m_nodes_pruned
       end
 
 let all_nodes_below t =
@@ -137,11 +152,17 @@ let prune_expected_vector t target =
 
 let prune_to t target =
   let target = max 1 target in
-  if t.n_nodes > target then
-    match t.cfg.pruning with
+  if t.n_nodes > target then begin
+    Obs.Metrics.incr m_prunings;
+    let before = t.n_nodes in
+    (match t.cfg.pruning with
     | Pruning.Smallest_count_first -> prune_ordered t target (fun n -> (n.count, -n.depth))
     | Pruning.Longest_label_first -> prune_ordered t target (fun n -> (-n.depth, n.count))
-    | Pruning.Expected_vector_first -> ( try prune_expected_vector t target with Exit -> ())
+    | Pruning.Expected_vector_first -> ( try prune_expected_vector t target with Exit -> ()));
+    Log.debug (fun m ->
+        m "pruned %d -> %d nodes (target %d, %s)" before t.n_nodes target
+          (Pruning.to_string t.cfg.pruning))
+  end
 
 let maybe_prune t =
   if t.n_nodes > t.cfg.max_nodes then
@@ -159,6 +180,7 @@ let child_or_create t parent sym =
     let n = make_node ~sym ~depth:(parent.depth + 1) ~parent:(Some parent) in
     Smallmap.set parent.children sym n;
     t.n_nodes <- t.n_nodes + 1;
+    Obs.Metrics.incr m_node_creations;
     n
   end
 
@@ -172,6 +194,8 @@ let bump node next_sym =
 let insert_segment t s ~lo ~hi =
   let len = Array.length s in
   if lo < 0 || hi >= len || lo > hi then invalid_arg "Pst.insert_segment";
+  Obs.Metrics.incr m_insertions;
+  Obs.Metrics.incr ~by:(hi - lo + 1) m_symbols_inserted;
   for e = lo to hi do
     let next_sym = if e < hi then s.(e + 1) else -1 in
     bump t.root next_sym;
@@ -196,6 +220,7 @@ let insert_sequence t s =
 
 let prediction_node t s ~lo ~pos =
   (* Descend along s.(pos-1), s.(pos-2), ..., only into significant nodes. *)
+  Obs.Metrics.incr m_prediction_lookups;
   let node = ref t.root in
   let d = ref 0 in
   let max_d = min t.cfg.max_depth (pos - lo) in

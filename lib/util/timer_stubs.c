@@ -1,0 +1,15 @@
+/* Monotonic clock for Timer: CLOCK_MONOTONIC nanoseconds since an
+   arbitrary epoch (boot), immune to wall-clock adjustments. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value cluseq_monotonic_clock_ns(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return caml_copy_int64(0);
+  return caml_copy_int64((int64_t) ts.tv_sec * 1000000000LL + (int64_t) ts.tv_nsec);
+}

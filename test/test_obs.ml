@@ -1,0 +1,286 @@
+(* Tests for the Obs instrumentation library: metrics registry semantics,
+   span tracing, exporters, and the Timer stopwatch it is built on.
+
+   The registry is process-global, so every test starts from
+   [Obs.reset ()] and restores the disabled state before returning. *)
+
+let with_clean_obs f =
+  Obs.reset ();
+  Obs.Metrics.enable ();
+  Obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.disable ();
+      Obs.Trace.disable ();
+      Obs.Trace.clear_hooks ();
+      Obs.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basic () =
+  with_clean_obs @@ fun () ->
+  let c = Obs.Metrics.counter "test.counter_basic" in
+  Alcotest.(check int) "starts at 0" 0 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:41 c;
+  Alcotest.(check int) "1 + 41" 42 (Obs.Metrics.counter_value c);
+  Alcotest.(check string) "name" "test.counter_basic" (Obs.Metrics.counter_name c)
+
+let test_find_or_create_identity () =
+  with_clean_obs @@ fun () ->
+  let a = Obs.Metrics.counter "test.same" in
+  let b = Obs.Metrics.counter "test.same" in
+  Obs.Metrics.incr a;
+  Obs.Metrics.incr b;
+  Alcotest.(check int) "both handles hit one counter" 2 (Obs.Metrics.counter_value a)
+
+let test_kind_mismatch () =
+  with_clean_obs @@ fun () ->
+  ignore (Obs.Metrics.counter "test.kind");
+  Alcotest.(check bool) "gauge on counter name raises" true
+    (try
+       ignore (Obs.Metrics.gauge "test.kind");
+       false
+     with Invalid_argument _ -> true)
+
+let test_gauge () =
+  with_clean_obs @@ fun () ->
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Alcotest.(check (float 0.0)) "starts at 0" 0.0 (Obs.Metrics.gauge_value g);
+  Obs.Metrics.set g 3.5;
+  Obs.Metrics.set g (-1.25);
+  Alcotest.(check (float 0.0)) "last write wins" (-1.25) (Obs.Metrics.gauge_value g)
+
+let test_histogram_buckets () =
+  with_clean_obs @@ fun () ->
+  let h = Obs.Metrics.histogram ~buckets:[| 1.0; 10.0 |] "test.histo" in
+  Obs.Metrics.observe h 0.5;
+  Obs.Metrics.observe h 1.0;
+  (* boundary lands in its own bucket (le = upper bound) *)
+  Obs.Metrics.observe h 5.0;
+  Obs.Metrics.observe h 100.0;
+  (* overflow *)
+  let buckets = Obs.Metrics.bucket_counts h in
+  Alcotest.(check int) "three buckets incl. +Inf" 3 (Array.length buckets);
+  let le, n = buckets.(0) in
+  Alcotest.(check (float 0.0)) "bucket 0 bound" 1.0 le;
+  Alcotest.(check int) "bucket 0 count" 2 n;
+  Alcotest.(check int) "bucket 1 count" 1 (snd buckets.(1));
+  Alcotest.(check bool) "+Inf bound" true (fst buckets.(2) = infinity);
+  Alcotest.(check int) "+Inf count" 1 (snd buckets.(2));
+  Alcotest.(check int) "total count" 4 (Obs.Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 106.5 (Obs.Metrics.histogram_sum h)
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.Metrics.disable ();
+  let c = Obs.Metrics.counter "test.disabled" in
+  let g = Obs.Metrics.gauge "test.disabled_g" in
+  let h = Obs.Metrics.histogram "test.disabled_h" in
+  Obs.Metrics.incr ~by:100 c;
+  Obs.Metrics.set g 7.0;
+  Obs.Metrics.observe h 1.0;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check (float 0.0)) "gauge untouched" 0.0 (Obs.Metrics.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Metrics.histogram_count h);
+  Obs.reset ()
+
+let test_reset_in_place () =
+  with_clean_obs @@ fun () ->
+  let c = Obs.Metrics.counter "test.reset" in
+  Obs.Metrics.incr ~by:5 c;
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "zeroed" 0 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "handle still live" 1 (Obs.Metrics.counter_value c)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_clean_obs @@ fun () ->
+  Obs.Trace.with_span "outer" (fun () ->
+      Obs.Trace.with_span "inner_a" (fun () -> ());
+      Obs.Trace.with_span "inner_b" (fun () -> ()));
+  Obs.Trace.with_span "second_root" (fun () -> ());
+  let roots = Obs.Trace.roots () in
+  Alcotest.(check (list string)) "two roots, oldest first" [ "outer"; "second_root" ]
+    (List.map Obs.Trace.name roots);
+  let outer = List.hd roots in
+  Alcotest.(check (list string)) "children in order" [ "inner_a"; "inner_b" ]
+    (List.map Obs.Trace.name (Obs.Trace.children outer))
+
+let test_span_timing_monotone () =
+  with_clean_obs @@ fun () ->
+  Obs.Trace.with_span "parent" (fun () ->
+      Obs.Trace.with_span "child" (fun () ->
+          (* burn a little time so durations are strictly positive *)
+          let x = ref 0 in
+          for i = 1 to 10_000 do
+            x := !x + i
+          done;
+          ignore !x));
+  match Obs.Trace.roots () with
+  | [ parent ] ->
+      let child = List.hd (Obs.Trace.children parent) in
+      Alcotest.(check bool) "child duration > 0" true (Obs.Trace.duration_ns child > 0L);
+      Alcotest.(check bool) "parent >= child" true
+        (Obs.Trace.duration_ns parent >= Obs.Trace.duration_ns child);
+      Alcotest.(check bool) "duration_s consistent" true
+        (Obs.Trace.duration_s parent >= Obs.Trace.duration_s child)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_span_exception_safety () =
+  with_clean_obs @@ fun () ->
+  (try Obs.Trace.with_span "raises" (fun () -> failwith "boom") with Failure _ -> ());
+  Obs.Trace.with_span "after" (fun () -> ());
+  Alcotest.(check (list string)) "raising span closed, stack not corrupted"
+    [ "raises"; "after" ]
+    (List.map Obs.Trace.name (Obs.Trace.roots ()))
+
+let test_span_hooks () =
+  with_clean_obs @@ fun () ->
+  let events = ref [] in
+  Obs.Trace.on_start (fun s -> events := ("start " ^ Obs.Trace.name s) :: !events);
+  Obs.Trace.on_stop (fun s -> events := ("stop " ^ Obs.Trace.name s) :: !events);
+  Obs.Trace.with_span "a" (fun () -> Obs.Trace.with_span "b" (fun () -> ()));
+  Alcotest.(check (list string)) "hook order"
+    [ "start a"; "start b"; "stop b"; "stop a" ]
+    (List.rev !events)
+
+let test_span_disabled_passthrough () =
+  Obs.reset ();
+  Obs.Trace.disable ();
+  let r = Obs.Trace.with_span "ignored" (fun () -> 42) in
+  Alcotest.(check int) "value passes through" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Trace.roots ()));
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_json_export () =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.incr ~by:3 (Obs.Metrics.counter "test.json_c");
+  Obs.Metrics.set (Obs.Metrics.gauge "test.json_g") 1.5;
+  Obs.Metrics.observe (Obs.Metrics.histogram ~buckets:[| 1.0 |] "test.json_h") 2.0;
+  Obs.Trace.with_span "test_root" (fun () -> ());
+  let json = Obs.Export.to_json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json contains %s" needle) true
+        (contains ~needle json))
+    [
+      "\"test.json_c\": 3";
+      "\"test.json_g\": 1.5";
+      "\"test.json_h\"";
+      "\"+Inf\"";
+      "\"spans\"";
+      "\"test_root\"";
+    ]
+
+let test_prometheus_export () =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.incr ~by:7 (Obs.Metrics.counter "test.prom c");
+  let h = Obs.Metrics.histogram ~buckets:[| 1.0; 2.0 |] "test.prom_h" in
+  Obs.Metrics.observe h 0.5;
+  Obs.Metrics.observe h 1.5;
+  Obs.Metrics.observe h 99.0;
+  let prom = Obs.Export.to_prometheus () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "prom contains %s" needle) true
+        (contains ~needle prom))
+    [
+      (* names sanitized to [a-zA-Z0-9_:] *)
+      "# TYPE test_prom_c counter";
+      "test_prom_c 7";
+      "# TYPE test_prom_h histogram";
+      (* buckets are cumulative *)
+      "test_prom_h_bucket{le=\"1\"} 1";
+      "test_prom_h_bucket{le=\"2\"} 2";
+      "test_prom_h_bucket{le=\"+Inf\"} 3";
+      "test_prom_h_count 3";
+    ]
+
+let test_summary_export () =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.incr (Obs.Metrics.counter "test.summary");
+  let s = Obs.Export.summary () in
+  Alcotest.(check bool) "summary mentions the counter" true
+    (contains ~needle:"test.summary" s)
+
+(* ------------------------------------------------------------------ *)
+(* Timer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_timer_monotone () =
+  let a = Timer.now_ns () in
+  let b = Timer.now_ns () in
+  Alcotest.(check bool) "clock never goes back" true (b >= a);
+  Alcotest.(check bool) "span_s non-negative" true (Timer.span_s a b >= 0.0)
+
+let test_stopwatch () =
+  let t = Timer.create () in
+  Alcotest.(check bool) "not running" false (Timer.running t);
+  Alcotest.(check (float 0.0)) "zero" 0.0 (Timer.elapsed_s t);
+  Timer.start t;
+  let x = ref 0 in
+  for i = 1 to 10_000 do
+    x := !x + i
+  done;
+  ignore !x;
+  Timer.stop t;
+  let once = Timer.elapsed_ns t in
+  Alcotest.(check bool) "accumulated > 0" true (once > 0L);
+  (* stopped: elapsed stays put *)
+  Alcotest.(check bool) "stable when stopped" true (Timer.elapsed_ns t = once);
+  Timer.start t;
+  Timer.stop t;
+  Alcotest.(check bool) "second interval accumulates" true (Timer.elapsed_ns t >= once);
+  Timer.reset t;
+  Alcotest.(check bool) "reset to zero" true (Timer.elapsed_ns t = 0L)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basic;
+          Alcotest.test_case "find-or-create identity" `Quick test_find_or_create_identity;
+          Alcotest.test_case "kind mismatch raises" `Quick test_kind_mismatch;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram bucketing" `Quick test_histogram_buckets;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "reset keeps handles live" `Quick test_reset_in_place;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and order" `Quick test_span_nesting;
+          Alcotest.test_case "timing monotonicity" `Quick test_span_timing_monotone;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "start/stop hooks" `Quick test_span_hooks;
+          Alcotest.test_case "disabled passthrough" `Quick test_span_disabled_passthrough;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json" `Quick test_json_export;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_export;
+          Alcotest.test_case "summary" `Quick test_summary_export;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "monotone clock" `Quick test_timer_monotone;
+          Alcotest.test_case "stopwatch" `Quick test_stopwatch;
+        ] );
+    ]
