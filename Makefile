@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one CI should run.
 
-.PHONY: all build test bench check fmt clean
+.PHONY: all build test bench bench-smoke check fmt clean
 
 all: build
 
@@ -13,9 +13,24 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Full gate: build, unit tests, and a CLI smoke run that exercises the
-# metrics pipeline end to end (generate -> cluster --metrics -> grep).
-check: build test
+# Perf regression smoke gate: re-run a fast experiment at the baseline's
+# scale and compare against the committed BENCH_baseline.json. The
+# threshold is deliberately loose (machines differ); it exists to catch
+# order-of-magnitude regressions, not 10% jitter. Refresh the baseline
+# with: dune exec bench/main.exe -- --scale 0.25 --record BENCH_baseline.json
+bench-smoke: build
+	@tmp=$$(mktemp -d); \
+	dune exec bench/main.exe -- table4 --scale 0.25 \
+	  --record $$tmp/BENCH_smoke.json >/dev/null; \
+	dune exec bench/main.exe -- compare BENCH_baseline.json \
+	  $$tmp/BENCH_smoke.json --threshold 250 --quality-threshold 5 \
+	  || { rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "bench-smoke: OK"
+
+# Full gate: build, unit tests, the CLI metrics smoke run (generate ->
+# cluster --metrics -> grep), and the perf regression smoke gate.
+check: build test bench-smoke
 	@tmp=$$(mktemp -d); \
 	dune exec bin/cluseq_cli.exe -- generate --kind synthetic --num 60 --len 60 \
 	  --clusters 3 -o $$tmp/smoke.tsv >/dev/null; \

@@ -1,5 +1,11 @@
 (* Shared infrastructure for the experiment harness: evaluation wrappers
-   and fixed-width table printing. *)
+   and fixed-width table printing.
+
+   Every duration the harness reports comes from the monotonic [Timer]
+   (clock_gettime(CLOCK_MONOTONIC)); no wall-clock source
+   (Unix.gettimeofday / Sys.time) is used anywhere in the tree, so
+   recorded numbers cannot go backwards under NTP steps or clock
+   adjustment. *)
 
 type scored = {
   labels : int array; (* hard labels in cluster-id space *)
@@ -8,6 +14,16 @@ type scored = {
   final_t : float;
   iterations : int;
 }
+
+(* --- quality headline ------------------------------------------------ *)
+
+(* The first quality figure an experiment computes (CLUSEQ's own accuracy
+   or macro recall — baselines come later in every experiment) is captured
+   as the experiment's headline for the BENCH record, so a perf regression
+   can't hide behind a quality change. Reset per experiment by the driver. *)
+let quality : (string * float) option ref = ref None
+let reset_quality () = quality := None
+let set_quality metric v = if !quality = None then quality := Some (metric, v)
 
 let score_cluseq ?(config = Cluseq.default_config) db =
   let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
@@ -20,12 +36,16 @@ let score_cluseq ?(config = Cluseq.default_config) db =
   }
 
 let accuracy ~truth labels =
-  Metrics.accuracy ~truth ~pred_class:(Matching.relabel ~truth ~pred:labels)
+  let acc = Metrics.accuracy ~truth ~pred_class:(Matching.relabel ~truth ~pred:labels) in
+  set_quality "accuracy" acc;
+  acc
 
 let macro_pr ~truth labels =
   let pred_class = Matching.relabel ~truth ~pred:labels in
   let prs = Metrics.per_class ~truth ~pred_class in
-  (Metrics.macro_precision prs, Metrics.macro_recall prs)
+  let recall = Metrics.macro_recall prs in
+  set_quality "macro_recall" recall;
+  (Metrics.macro_precision prs, recall)
 
 let pct x = 100.0 *. x
 

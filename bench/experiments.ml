@@ -157,6 +157,7 @@ let table4 scale =
   let r = score_cluseq ~config data.db in
   let pred_class = Matching.relabel ~truth ~pred:r.labels in
   let prs = Metrics.per_class ~truth ~pred_class in
+  set_quality "macro_recall" (Metrics.macro_recall prs);
   let name = function 0 -> "English" | 1 -> "Chinese" | 2 -> "Japanese" | _ -> "?" in
   let rows =
     List.map

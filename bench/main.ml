@@ -8,84 +8,199 @@
      dune exec bench/main.exe -- --csv out/   # also write tables as CSV
      dune exec bench/main.exe -- --metrics-dir out/  # per-experiment metrics JSON
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --scale 0.25 --record BENCH_baseline.json
+                                              # canonical telemetry record
+     dune exec bench/main.exe -- compare BENCH_baseline.json BENCH_new.json \
+                                 [--threshold PCT] [--quality-threshold PCT]
+                                              # perf regression gate
 
    Each experiment regenerates one table or figure of the paper's
    evaluation (see DESIGN.md Sec. 4 for the experiment index and
-   EXPERIMENTS.md for paper-vs-measured results). *)
+   EXPERIMENTS.md for paper-vs-measured results). `--record` writes the
+   machine-readable BENCH_*.json described in DESIGN.md §6; `compare`
+   exits 1 on a perf regression, 2 on usage or parse errors. *)
 
 let list_experiments () =
   Printf.printf "available experiments:\n";
   List.iter (fun (id, doc, _) -> Printf.printf "  %-10s %s\n" id doc) Experiments.all;
   Printf.printf "  %-10s %s\n" "micro" "Bechamel micro-benchmarks of core primitives"
 
-let () =
-  Obs.Logging.setup ();
-  let args = Array.to_list Sys.argv |> List.tl in
-  let scale = ref 1.0 in
-  let metrics_dir = ref None in
-  let selected = ref [] in
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+(* An option's operand must exist and not look like the next option —
+   `bench --csv --scale 2` is a mistake, not a directory named --scale. *)
+let operand ~flag = function
+  | v :: rest when not (String.length v > 1 && v.[0] = '-' && v.[1] = '-') -> (v, rest)
+  | _ -> die "%s expects an operand" flag
+
+let positive_float ~flag v =
+  match float_of_string_opt v with
+  | Some f when f > 0.0 -> f
+  | _ -> die "%s expects a positive number" flag
+
+(* ------------------------------------------------------------------ *)
+(* compare subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_compare args =
+  let threshold = ref 25.0 in
+  let quality_threshold = ref 2.0 in
+  let files = ref [] in
   let rec parse = function
     | [] -> ()
-    | "--list" :: _ ->
-        list_experiments ();
-        exit 0
-    | "--csv" :: dir :: rest ->
-        Bench_util.csv_dir := Some dir;
+    | "--threshold" :: rest ->
+        let v, rest = operand ~flag:"--threshold" rest in
+        threshold := positive_float ~flag:"--threshold" v;
         parse rest
-    | "--metrics-dir" :: dir :: rest ->
-        metrics_dir := Some dir;
+    | "--quality-threshold" :: rest ->
+        let v, rest = operand ~flag:"--quality-threshold" rest in
+        quality_threshold := positive_float ~flag:"--quality-threshold" v;
         parse rest
-    | "--scale" :: v :: rest ->
-        (match float_of_string_opt v with
-        | Some f when f > 0.0 -> scale := f
-        | _ ->
-            prerr_endline "--scale expects a positive number";
-            exit 2);
-        parse rest
-    | id :: rest ->
-        selected := id :: !selected;
+    | flag :: _ when String.length flag > 1 && flag.[0] = '-' && flag.[1] = '-' ->
+        die "compare: unknown option %s" flag
+    | file :: rest ->
+        files := file :: !files;
         parse rest
   in
   parse args;
-  let selected = List.rev !selected in
-  let run_micro = List.mem "micro" selected || selected = [] in
-  let to_run =
-    match List.filter (fun id -> id <> "micro") selected with
-    | [] ->
-        if selected = [] then List.map (fun (id, _, f) -> (id, f)) Experiments.all else []
-    | ids ->
-        List.map
-          (fun id ->
-            match List.find_opt (fun (eid, _, _) -> eid = id) Experiments.all with
-            | Some (eid, _, f) -> (eid, f)
-            | None ->
-                Printf.eprintf "unknown experiment %S (try --list)\n" id;
-                exit 2)
-          ids
-  in
-  Printf.printf "CLUSEQ benchmark harness (scale %.2f)\n" !scale;
-  let total = ref 0.0 in
-  List.iter
-    (fun (id, f) ->
-      Printf.printf "\n################ %s ################\n%!" id;
-      Bench_util.current_experiment := id;
-      (match !metrics_dir with
+  match List.rev !files with
+  | [ base_file; cand_file ] -> (
+      let load file =
+        match Bench_report.read file with Ok r -> r | Error msg -> die "%s" msg
+      in
+      let base = load base_file and candidate = load cand_file in
+      match
+        Bench_compare.compare_reports ~threshold_pct:!threshold
+          ~quality_threshold_pct:!quality_threshold ~base ~candidate ()
+      with
+      | Error msg -> die "%s" msg
+      | Ok verdicts ->
+          Printf.printf "comparing %s (%s) -> %s (%s), threshold %.0f%%\n" base_file
+            base.env.git_rev cand_file candidate.env.git_rev !threshold;
+          print_string (Bench_compare.render verdicts);
+          if Bench_compare.has_regression verdicts then begin
+            prerr_endline "bench compare: performance regression detected";
+            exit 1
+          end)
+  | _ -> die "usage: bench compare BASE.json NEW.json [--threshold PCT] [--quality-threshold PCT]"
+
+(* ------------------------------------------------------------------ *)
+(* experiment driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_baseline.json -> "baseline"; anything else keeps its stem. *)
+let label_of_record_path path =
+  let stem = Filename.remove_extension (Filename.basename path) in
+  if String.starts_with ~prefix:"BENCH_" stem then
+    String.sub stem 6 (String.length stem - 6)
+  else stem
+
+let () =
+  Obs.Logging.setup ();
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | "compare" :: rest -> run_compare rest
+  | _ ->
+      let scale = ref 1.0 in
+      let metrics_dir = ref None in
+      let record = ref None in
+      let selected = ref [] in
+      let rec parse = function
+        | [] -> ()
+        | "--list" :: _ ->
+            list_experiments ();
+            exit 0
+        | "--csv" :: rest ->
+            let dir, rest = operand ~flag:"--csv" rest in
+            Bench_util.csv_dir := Some dir;
+            parse rest
+        | "--metrics-dir" :: rest ->
+            let dir, rest = operand ~flag:"--metrics-dir" rest in
+            metrics_dir := Some dir;
+            parse rest
+        | "--record" :: rest ->
+            let file, rest = operand ~flag:"--record" rest in
+            record := Some file;
+            parse rest
+        | "--scale" :: rest ->
+            let v, rest = operand ~flag:"--scale" rest in
+            scale := positive_float ~flag:"--scale" v;
+            parse rest
+        | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+            die "unknown option %s (try --list for experiments)" flag
+        | id :: rest ->
+            selected := id :: !selected;
+            parse rest
+      in
+      parse args;
+      let selected = List.rev !selected in
+      List.iter
+        (fun id ->
+          if id <> "micro" && not (List.exists (fun (eid, _, _) -> eid = id) Experiments.all)
+          then die "unknown experiment %S (try --list)" id)
+        selected;
+      let run_micro = List.mem "micro" selected || selected = [] in
+      let to_run =
+        match List.filter (fun id -> id <> "micro") selected with
+        | [] ->
+            if selected = [] then List.map (fun (id, _, f) -> (id, f)) Experiments.all else []
+        | ids ->
+            List.map
+              (fun id ->
+                let _, _, f = List.find (fun (eid, _, _) -> eid = id) Experiments.all in
+                (id, f))
+              ids
+      in
+      let instrumented = !metrics_dir <> None || !record <> None in
+      if !record <> None then Obs.Resource.start_sampler ();
+      Printf.printf "CLUSEQ benchmark harness (scale %.2f)\n" !scale;
+      let total = ref 0.0 in
+      let recorded = ref [] in
+      List.iter
+        (fun (id, f) ->
+          Printf.printf "\n################ %s ################\n%!" id;
+          Bench_util.current_experiment := id;
+          Bench_util.reset_quality ();
+          if instrumented then begin
+            (* Fresh, enabled registry per experiment so each report
+               reflects that experiment alone. *)
+            Obs.reset ();
+            Obs.Metrics.enable ();
+            Obs.Resource.reset_peak ()
+          end;
+          let ((), gc), secs =
+            Timer.time (fun () -> Obs.Resource.measure (fun () -> f !scale))
+          in
+          if !record <> None then begin
+            Obs.Resource.publish gc;
+            recorded :=
+              Bench_report.capture ~id ~wall_s:secs ~gc
+                ~peak_heap_words:(Obs.Resource.peak_heap_words ())
+                ~quality:!Bench_util.quality
+              :: !recorded
+          end;
+          (match !metrics_dir with
+          | None -> ()
+          | Some dir ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              let path = Filename.concat dir (id ^ ".json") in
+              Obs.Export.write_file path (Obs.Export.to_json ());
+              Printf.printf "[metrics written to %s]\n%!" path);
+          total := !total +. secs;
+          Printf.printf "[%s completed in %.1fs]\n%!" id secs)
+        to_run;
+      let micro_rows = if run_micro then Micro.run () else [] in
+      (match !record with
       | None -> ()
-      | Some _ ->
-          (* Fresh, enabled registry per experiment so each JSON reflects
-             that experiment alone. *)
-          Obs.reset ();
-          Obs.Metrics.enable ());
-      let (), secs = Timer.time (fun () -> f !scale) in
-      (match !metrics_dir with
-      | None -> ()
-      | Some dir ->
-          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-          let path = Filename.concat dir (id ^ ".json") in
-          Obs.Export.write_file path (Obs.Export.to_json ());
-          Printf.printf "[metrics written to %s]\n%!" path);
-      total := !total +. secs;
-      Printf.printf "[%s completed in %.1fs]\n%!" id secs)
-    to_run;
-  if run_micro then Micro.run ();
-  Printf.printf "\nall experiments done in %.1fs\n" !total
+      | Some file ->
+          let report =
+            {
+              Bench_report.env =
+                Bench_report.collect_env ~label:(label_of_record_path file) ~scale:!scale;
+              experiments = List.rev !recorded;
+              micro = micro_rows;
+            }
+          in
+          Bench_report.write file report;
+          Printf.printf "\n[bench record written to %s]\n%!" file);
+      Printf.printf "\nall experiments done in %.1fs\n" !total

@@ -56,6 +56,8 @@ let tests () =
        Staged.stage (fun () -> ignore (Hmm.log_likelihood m (next_seq ()))));
   ]
 
+(* Runs the suite, prints the table, and returns the (name, ns/run) rows
+   so `bench --record` can fold them into the BENCH_*.json under "micro". *)
 let run () =
   Printf.printf "\n== Micro-benchmarks (Bechamel, ns/run) ==\n%!";
   let ols =
@@ -74,6 +76,6 @@ let run () =
       in
       rows := (name, ns) :: !rows)
     results;
-  List.iter
-    (fun (name, ns) -> Printf.printf "  %-40s %12.0f ns/run\n" name ns)
-    (List.sort compare !rows)
+  let rows = List.sort compare !rows in
+  List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.0f ns/run\n" name ns) rows;
+  rows

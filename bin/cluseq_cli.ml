@@ -17,6 +17,10 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 
 let emit_metrics dest () =
+  (* Fold the process's GC/heap cost into the report: absolute
+     Gc.quick_stat totals plus the sampled peak-heap watermark, as
+     gc.* gauges (see DESIGN.md §6). *)
+  Obs.Resource.publish_current ();
   match dest with
   | "" | "-" -> prerr_string (Obs.Export.summary ())
   | file -> (
@@ -43,6 +47,7 @@ let setup_obs verbosity metrics trace =
   | None -> ()
   | Some dest ->
       Obs.Metrics.enable ();
+      Obs.Resource.start_sampler ();
       at_exit (emit_metrics dest));
   if trace then begin
     Obs.Trace.enable ();

@@ -1,0 +1,194 @@
+(* Regression verdicts between two BENCH_*.json reports. See mli. *)
+
+type status = [ `Ok | `Regression | `Improvement | `Skipped | `Added | `Removed ]
+
+type verdict = {
+  experiment : string;
+  metric : string;
+  base : float;
+  candidate : float;
+  change_pct : float;
+  status : status;
+}
+
+type direction = Lower_better | Higher_better
+
+(* Noise floors: relative change below these base magnitudes is not
+   evidence of anything. *)
+let min_macro_seconds = 0.05
+let min_micro_ns = 10.0
+let min_words = 1e6
+
+let change_pct ~base ~candidate =
+  if base = 0.0 then 0.0 else (candidate -. base) /. Float.abs base *. 100.0
+
+let judge ~threshold ~direction ~min_base ~experiment ~metric ~base ~candidate =
+  let pct = change_pct ~base ~candidate in
+  let status =
+    if Float.abs base < min_base then `Skipped
+    else
+      let exceeded = Float.abs pct > threshold in
+      match direction with
+      | Lower_better ->
+          if candidate > base && exceeded then `Regression
+          else if candidate < base && exceeded then `Improvement
+          else `Ok
+      | Higher_better ->
+          if candidate < base && exceeded then `Regression
+          else if candidate > base && exceeded then `Improvement
+          else `Ok
+  in
+  { experiment; metric; base; candidate; change_pct = pct; status }
+
+let compare_experiment ~threshold ~quality_threshold (b : Bench_report.experiment)
+    (c : Bench_report.experiment) =
+  let time metric base candidate =
+    judge ~threshold ~direction:Lower_better ~min_base:min_macro_seconds
+      ~experiment:b.id ~metric ~base ~candidate
+  in
+  let verdicts =
+    [
+      time "wall_s" b.wall_s c.wall_s;
+      time "cluseq.seconds" b.cluseq_seconds c.cluseq_seconds;
+    ]
+    @ List.filter_map
+        (fun (p, bs) ->
+          Option.map (fun cs -> time ("phase." ^ p) bs cs) (List.assoc_opt p c.phases))
+        b.phases
+    @ [
+        judge ~threshold ~direction:Higher_better ~min_base:1.0 ~experiment:b.id
+          ~metric:"throughput.sequences_per_s"
+          ~base:(Bench_report.sequences_per_s b)
+          ~candidate:(Bench_report.sequences_per_s c);
+        judge ~threshold ~direction:Lower_better ~min_base:min_words ~experiment:b.id
+          ~metric:"gc.minor_words" ~base:b.gc.minor_words ~candidate:c.gc.minor_words;
+        judge ~threshold ~direction:Lower_better ~min_base:min_words ~experiment:b.id
+          ~metric:"gc.major_words" ~base:b.gc.major_words ~candidate:c.gc.major_words;
+        judge ~threshold ~direction:Lower_better ~min_base:min_words ~experiment:b.id
+          ~metric:"gc.peak_heap_words"
+          ~base:(float_of_int b.peak_heap_words)
+          ~candidate:(float_of_int c.peak_heap_words);
+        judge ~threshold ~direction:Lower_better ~min_base:100.0 ~experiment:b.id
+          ~metric:"pst.nodes_built"
+          ~base:(float_of_int b.pst_nodes_built)
+          ~candidate:(float_of_int c.pst_nodes_built);
+      ]
+  in
+  (* Throughput is only meaningful when enough clustering time was
+     measured; tie it to the same macro noise floor. *)
+  let verdicts =
+    List.map
+      (fun v ->
+        if v.metric = "throughput.sequences_per_s" && b.cluseq_seconds < min_macro_seconds
+        then { v with status = `Skipped }
+        else v)
+      verdicts
+  in
+  let quality =
+    match (b.quality, c.quality) with
+    | Some (bm, bv), Some (cm, cv) when bm = cm ->
+        [
+          judge ~threshold:quality_threshold ~direction:Higher_better ~min_base:0.0
+            ~experiment:b.id ~metric:("quality." ^ bm) ~base:bv ~candidate:cv;
+        ]
+    | _ -> []
+  in
+  verdicts @ quality
+
+let compare_reports ?(threshold_pct = 25.0) ?(quality_threshold_pct = 2.0)
+    ~(base : Bench_report.t) ~(candidate : Bench_report.t) () =
+  if Float.abs (base.env.scale -. candidate.env.scale) > 1e-9 then
+    Error
+      (Printf.sprintf "incomparable runs: base --scale %g vs candidate --scale %g"
+         base.env.scale candidate.env.scale)
+  else if base.env.word_size <> candidate.env.word_size then
+    Error
+      (Printf.sprintf "incomparable runs: base word size %d vs candidate %d" base.env.word_size
+         candidate.env.word_size)
+  else begin
+    let acc = ref [] in
+    let push v = acc := v :: !acc in
+    let marker status experiment metric =
+      { experiment; metric; base = 0.0; candidate = 0.0; change_pct = 0.0; status }
+    in
+    List.iter
+      (fun (b : Bench_report.experiment) ->
+        match List.find_opt (fun (c : Bench_report.experiment) -> c.id = b.id) candidate.experiments with
+        | Some c ->
+            List.iter push
+              (compare_experiment ~threshold:threshold_pct
+                 ~quality_threshold:quality_threshold_pct b c)
+        | None -> push (marker `Removed b.id "experiment"))
+      base.experiments;
+    List.iter
+      (fun (c : Bench_report.experiment) ->
+        if not (List.exists (fun (b : Bench_report.experiment) -> b.id = c.id) base.experiments)
+        then push (marker `Added c.id "experiment"))
+      candidate.experiments;
+    List.iter
+      (fun (name, bns) ->
+        match List.assoc_opt name candidate.micro with
+        | Some cns ->
+            push
+              (judge ~threshold:threshold_pct ~direction:Lower_better ~min_base:min_micro_ns
+                 ~experiment:"micro" ~metric:name ~base:bns ~candidate:cns)
+        | None -> push (marker `Removed "micro" name))
+      base.micro;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name base.micro) then push (marker `Added "micro" name))
+      candidate.micro;
+    Ok (List.rev !acc)
+  end
+
+let has_regression verdicts = List.exists (fun v -> v.status = `Regression) verdicts
+
+let status_label : status -> string = function
+  | `Ok -> "ok"
+  | `Regression -> "REGRESSION"
+  | `Improvement -> "improvement"
+  | `Skipped -> "skipped"
+  | `Added -> "added"
+  | `Removed -> "removed"
+
+let render verdicts =
+  let b = Buffer.create 1024 in
+  let count st = List.length (List.filter (fun v -> v.status = st) verdicts) in
+  let interesting =
+    List.filter (fun v -> match v.status with `Regression | `Improvement -> true | _ -> false) verdicts
+  in
+  let interesting =
+    (* regressions first, then by experiment/metric for stable output *)
+    List.stable_sort
+      (fun a b ->
+        match (a.status, b.status) with
+        | `Regression, `Regression | `Improvement, `Improvement ->
+            compare (a.experiment, a.metric) (b.experiment, b.metric)
+        | `Regression, _ -> -1
+        | _, `Regression -> 1
+        | _ -> 0)
+      interesting
+  in
+  if interesting <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "%-12s %-28s %14s %14s %9s  %s\n" "experiment" "metric" "base" "new"
+         "change" "status");
+    List.iter
+      (fun v ->
+        Buffer.add_string b
+          (Printf.sprintf "%-12s %-28s %14.4g %14.4g %+8.1f%%  %s\n" v.experiment v.metric
+             v.base v.candidate v.change_pct (status_label v.status)))
+      interesting
+  end;
+  List.iter
+    (fun v ->
+      match v.status with
+      | `Added -> Buffer.add_string b (Printf.sprintf "note: %s %s only in candidate\n" v.experiment v.metric)
+      | `Removed -> Buffer.add_string b (Printf.sprintf "note: %s %s only in base\n" v.experiment v.metric)
+      | _ -> ())
+    verdicts;
+  Buffer.add_string b
+    (Printf.sprintf "%d metrics compared: %d ok, %d regressions, %d improvements, %d skipped\n"
+       (List.length verdicts - count `Added - count `Removed)
+       (count `Ok) (count `Regression) (count `Improvement) (count `Skipped));
+  Buffer.contents b

@@ -1,0 +1,41 @@
+(** A minimal JSON value type, parser, and printer for the benchmark
+    telemetry files ([BENCH_*.json]).
+
+    Self-contained on purpose: the repo carries no JSON dependency, and
+    the bench schema (Bench_report) only needs objects, arrays, strings,
+    numbers, booleans, and null. Numbers are held as [float] (as in
+    JSON itself); integral values print without a fractional part. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** Insertion-ordered; keys assumed unique. *)
+
+val to_string : t -> string
+(** Render with two-space indentation and a trailing newline. Non-finite
+    numbers render as [null] (JSON has no Inf/NaN literal). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (trailing whitespace allowed). [Error msg]
+    carries the byte offset of the failure. Supports the full escape set
+    including [\uXXXX] (decoded to UTF-8); numbers are read with
+    [float_of_string] semantics. *)
+
+(** {1 Accessors} — total functions returning [option]. *)
+
+val member : string -> t -> t option
+(** [member key json] is the field [key] of an [Obj], else [None]. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+
+val obj_items : t -> (string * t) list
+(** The bindings of an [Obj], or [[]] for any other constructor. *)
+
+val equal : t -> t -> bool
+(** Structural equality with order-insensitive object comparison (keys
+    are matched by name) — round-trip tests. *)

@@ -1,0 +1,84 @@
+(** The canonical benchmark telemetry record ([BENCH_*.json]): schema
+    types, capture from the live {!Obs} registry, and (de)serialization.
+
+    One file is one benchmark run: an environment block (so numbers are
+    attributable to a commit, machine, and [--scale]), one record per
+    experiment (wall time, per-phase timings, throughput, GC/heap cost,
+    PST model size, and the experiment's quality headline), and the
+    Bechamel micro-benchmark results when they ran. [Bench_compare]
+    consumes two of these files to produce a regression verdict. *)
+
+val schema_name : string
+(** ["cluseq-bench"] — the [schema] field of every file. *)
+
+val schema_version : int
+(** Current version (1). {!of_json} rejects other versions. *)
+
+type env = {
+  label : string;  (** Run label, conventionally the [BENCH_<label>.json] stem. *)
+  git_rev : string;  (** HEAD commit hash, or ["unknown"] outside a checkout. *)
+  ocaml_version : string;
+  scale : float;  (** The harness [--scale]; comparisons require equal scales. *)
+  hostname : string;
+  word_size : int;  (** [Sys.word_size] — GC word counts depend on it. *)
+}
+
+type experiment = {
+  id : string;  (** Experiment id ([table2], [fig4], …). *)
+  wall_s : float;  (** Monotonic wall time of the whole experiment. *)
+  runs : int;  (** [Cluseq.run] invocations within it. *)
+  iterations : int;  (** CLUSEQ iterations summed over those runs. *)
+  cluseq_seconds : float;  (** Wall time inside [Cluseq.run], summed. *)
+  phases : (string * float) list;
+      (** Per-phase seconds summed over all iterations of all runs, in
+          the order of [Cluseq.phase_timings] (generation, reclustering,
+          consolidation, threshold, convergence). *)
+  sequences : int;  (** Sequences clustered (summed over runs). *)
+  symbols : int;  (** Symbols in those databases (summed over runs). *)
+  gc : Obs.Resource.gc_delta;  (** GC work of the whole experiment. *)
+  peak_heap_words : int;  (** Peak major-heap words during it. *)
+  pst_nodes_built : int;  (** Final PST nodes, summed over runs. *)
+  pst_est_words_built : int;  (** Estimated words of those trees. *)
+  quality : (string * float) option;
+      (** The experiment's quality headline, e.g. [("accuracy", 0.82)] —
+          recorded so a perf win can't silently trade away quality. *)
+}
+
+type t = { env : env; experiments : experiment list; micro : (string * float) list }
+
+val sequences_per_s : experiment -> float
+(** [sequences / cluseq_seconds], or 0 when no time was recorded. *)
+
+val symbols_per_s : experiment -> float
+
+val collect_env : label:string -> scale:float -> env
+(** Probe the environment: git rev from [.git/HEAD] (following the ref,
+    including packed refs), hostname from [/proc] or [$HOSTNAME]; both
+    degrade to ["unknown"]. *)
+
+val capture :
+  id:string ->
+  wall_s:float ->
+  gc:Obs.Resource.gc_delta ->
+  peak_heap_words:int ->
+  quality:(string * float) option ->
+  experiment
+(** Snapshot one experiment from the live metrics registry — counters
+    [cluseq.sequences]/[cluseq.symbols]/[cluseq.pst.*_built], the
+    [cluseq.run_seconds] histogram, and the [cluseq.iter.*_seconds]
+    phase histograms. The caller resets the registry between
+    experiments so each capture reflects one experiment alone. *)
+
+val to_json : t -> Bench_json.t
+
+val of_json : Bench_json.t -> (t, string) result
+(** Rejects documents whose [schema]/[version] do not match; missing
+    numeric fields default to 0 (forward compatibility for added
+    metrics), absent [quality] maps to [None]. *)
+
+val write : string -> t -> unit
+(** Serialize to a file (canonical two-space-indented JSON). *)
+
+val read : string -> (t, string) result
+(** Load and validate a file; IO and parse errors come back as
+    [Error]. *)

@@ -7,6 +7,18 @@ let m_iterations = Obs.Metrics.counter "cluseq.iterations"
 let g_clusters = Obs.Metrics.gauge "cluseq.clusters"
 let g_final_t = Obs.Metrics.gauge "cluseq.final_t"
 
+(* Throughput + model-size accounting, read back by the benchmark
+   telemetry (bench --record): work done per run accumulates in
+   counters so one experiment's several runs sum naturally; the gauges
+   describe the most recent run's final model. *)
+let m_sequences = Obs.Metrics.counter "cluseq.sequences"
+let m_symbols = Obs.Metrics.counter "cluseq.symbols"
+let h_run_seconds = Obs.Metrics.histogram "cluseq.run_seconds"
+let m_pst_nodes_built = Obs.Metrics.counter "cluseq.pst.nodes_built"
+let m_pst_words_built = Obs.Metrics.counter "cluseq.pst.est_words_built"
+let g_pst_nodes = Obs.Metrics.gauge "cluseq.pst.nodes"
+let g_pst_words = Obs.Metrics.gauge "cluseq.pst.est_words"
+
 (* The five phases of one iteration, in execution order; indexes into
    [h_phase] and the per-iteration timing array in [run]. *)
 let phase_names = [| "generation"; "reclustering"; "consolidation"; "threshold"; "convergence" |]
@@ -203,6 +215,7 @@ let run ?(config = default_config) db =
   if cfg.k_init < 1 then invalid_arg "Cluseq.run: k_init must be >= 1";
   if cfg.t_init < 1.0 then invalid_arg "Cluseq.run: t_init must be >= 1";
   Obs.Metrics.incr m_runs;
+  let run_t0 = if Obs.Metrics.is_enabled () then Timer.now_ns () else 0L in
   Obs.Trace.with_span "cluseq.run" @@ fun () ->
   (* Per-iteration phase durations (seconds); only filled while metrics
      are enabled so disabled runs skip the clock reads entirely. *)
@@ -407,6 +420,23 @@ let run ?(config = default_config) db =
   done;
   Obs.Metrics.set g_clusters (float_of_int (List.length !clusters));
   Obs.Metrics.set g_final_t (Threshold.linear_t threshold);
+  let pst_stats =
+    Array.of_list (List.map (fun cl -> (Cluster.id cl, Pst.stats (Cluster.pst cl))) !clusters)
+  in
+  if Obs.Metrics.is_enabled () then begin
+    Obs.Metrics.incr ~by:n m_sequences;
+    Obs.Metrics.incr ~by:(Seq_database.total_symbols db) m_symbols;
+    Obs.Metrics.observe h_run_seconds (Timer.span_s run_t0 (Timer.now_ns ()));
+    let nodes = Array.fold_left (fun acc (_, (st : Pst.stats)) -> acc + st.nodes) 0 pst_stats in
+    let words =
+      Array.fold_left (fun acc (_, (st : Pst.stats)) -> acc + st.approx_bytes) 0 pst_stats
+      / (Sys.word_size / 8)
+    in
+    Obs.Metrics.incr ~by:nodes m_pst_nodes_built;
+    Obs.Metrics.incr ~by:words m_pst_words_built;
+    Obs.Metrics.set g_pst_nodes (float_of_int nodes);
+    Obs.Metrics.set g_pst_words (float_of_int words)
+  end;
   Log.info (fun m ->
       m "done: %d clusters in %d iterations (final t = %.4g)" (List.length !clusters)
         !iterations (Threshold.linear_t threshold));
@@ -426,9 +456,7 @@ let run ?(config = default_config) db =
     final_t = Threshold.linear_t threshold;
     iterations = !iterations;
     history = List.rev !history;
-    pst_stats =
-      Array.of_list
-        (List.map (fun cl -> (Cluster.id cl, Pst.stats (Cluster.pst cl))) !clusters);
+    pst_stats;
     models =
       Array.of_list (List.map (fun cl -> (Cluster.id cl, Cluster.pst cl)) !clusters);
   }

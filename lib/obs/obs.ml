@@ -192,6 +192,122 @@ module Trace = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Resource profiling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Resource = struct
+  type gc_delta = {
+    minor_words : float;
+    promoted_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+    compactions : int;
+    heap_words : int;
+    top_heap_words : int;
+  }
+
+  let zero =
+    {
+      minor_words = 0.0;
+      promoted_words = 0.0;
+      major_words = 0.0;
+      minor_collections = 0;
+      major_collections = 0;
+      compactions = 0;
+      heap_words = 0;
+      top_heap_words = 0;
+    }
+
+  let add a b =
+    {
+      minor_words = a.minor_words +. b.minor_words;
+      promoted_words = a.promoted_words +. b.promoted_words;
+      major_words = a.major_words +. b.major_words;
+      minor_collections = a.minor_collections + b.minor_collections;
+      major_collections = a.major_collections + b.major_collections;
+      compactions = a.compactions + b.compactions;
+      heap_words = a.heap_words + b.heap_words;
+      top_heap_words = a.top_heap_words + b.top_heap_words;
+    }
+
+  let delta (before : Gc.stat) (after : Gc.stat) =
+    {
+      minor_words = after.Gc.minor_words -. before.Gc.minor_words;
+      promoted_words = after.Gc.promoted_words -. before.Gc.promoted_words;
+      major_words = after.Gc.major_words -. before.Gc.major_words;
+      minor_collections = after.Gc.minor_collections - before.Gc.minor_collections;
+      major_collections = after.Gc.major_collections - before.Gc.major_collections;
+      compactions = after.Gc.compactions - before.Gc.compactions;
+      heap_words = after.Gc.heap_words - before.Gc.heap_words;
+      top_heap_words = after.Gc.top_heap_words - before.Gc.top_heap_words;
+    }
+
+  let measure f =
+    let before = Gc.quick_stat () in
+    let r = f () in
+    (r, delta before (Gc.quick_stat ()))
+
+  (* --- peak-heap watermark sampler --- *)
+
+  let peak = ref 0
+  let alarm : Gc.alarm option ref = ref None
+
+  let sample () =
+    let hw = (Gc.quick_stat ()).Gc.heap_words in
+    if hw > !peak then peak := hw
+
+  let start_sampler () =
+    sample ();
+    match !alarm with Some _ -> () | None -> alarm := Some (Gc.create_alarm sample)
+
+  let stop_sampler () =
+    match !alarm with
+    | None -> ()
+    | Some a ->
+        Gc.delete_alarm a;
+        alarm := None
+
+  let reset_peak () =
+    peak := 0;
+    sample ()
+
+  let peak_heap_words () =
+    sample ();
+    !peak
+
+  (* --- gauge publication --- *)
+
+  let set name v = Metrics.set (Metrics.gauge name) v
+
+  let publish_values ~prefix ~minor_words ~promoted_words ~major_words ~minor_collections
+      ~major_collections ~compactions ~heap_words ~top_heap_words =
+    let p s = prefix ^ "." ^ s in
+    set (p "minor_words") minor_words;
+    set (p "promoted_words") promoted_words;
+    set (p "major_words") major_words;
+    set (p "minor_collections") (float_of_int minor_collections);
+    set (p "major_collections") (float_of_int major_collections);
+    set (p "compactions") (float_of_int compactions);
+    set (p "heap_words") (float_of_int heap_words);
+    set (p "top_heap_words") (float_of_int top_heap_words);
+    set (p "peak_heap_words") (float_of_int (peak_heap_words ()))
+
+  let publish ?(prefix = "gc") d =
+    publish_values ~prefix ~minor_words:d.minor_words ~promoted_words:d.promoted_words
+      ~major_words:d.major_words ~minor_collections:d.minor_collections
+      ~major_collections:d.major_collections ~compactions:d.compactions
+      ~heap_words:d.heap_words ~top_heap_words:d.top_heap_words
+
+  let publish_current ?(prefix = "gc") () =
+    let s = Gc.quick_stat () in
+    publish_values ~prefix ~minor_words:s.Gc.minor_words ~promoted_words:s.Gc.promoted_words
+      ~major_words:s.Gc.major_words ~minor_collections:s.Gc.minor_collections
+      ~major_collections:s.Gc.major_collections ~compactions:s.Gc.compactions
+      ~heap_words:s.Gc.heap_words ~top_heap_words:s.Gc.top_heap_words
+end
+
+(* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
 (* ------------------------------------------------------------------ *)
 

@@ -133,6 +133,78 @@ module Trace : sig
   (** Render the span forest as an indented tree with durations. *)
 end
 
+(** Runtime resource profiling: span-scoped GC deltas, a peak-heap
+    watermark sampler, and gauge publication of both — the memory half
+    of the benchmark telemetry (DESIGN.md §6). All readings come from
+    [Gc.quick_stat], which never forces a collection. *)
+module Resource : sig
+  type gc_delta = {
+    minor_words : float;  (** Words allocated in the minor heap. *)
+    promoted_words : float;  (** Words promoted minor → major. *)
+    major_words : float;  (** Words allocated in the major heap. *)
+    minor_collections : int;
+    major_collections : int;
+    compactions : int;
+    heap_words : int;
+        (** Change of the major-heap size over the span; the only field
+            that can be negative (compaction can shrink the heap). *)
+    top_heap_words : int;
+        (** Growth of the process-lifetime heap watermark during the
+            span. *)
+  }
+  (** What one measured span cost the runtime. All fields except
+      [heap_words] derive from monotonic [Gc] counters and are
+      non-negative; a span's delta includes everything its nested spans
+      did. *)
+
+  val zero : gc_delta
+
+  val add : gc_delta -> gc_delta -> gc_delta
+  (** Componentwise sum — for accumulating deltas across repeated
+      measurements. *)
+
+  val measure : (unit -> 'a) -> 'a * gc_delta
+  (** [measure f] runs [f ()] and returns its result together with the
+      GC work it (and anything it called) performed. Unlike metrics and
+      tracing this is not gated on an [enable] switch: the two
+      [Gc.quick_stat] calls are cheap and callers invoke [measure]
+      explicitly. Nests freely. *)
+
+  val publish : ?prefix:string -> gc_delta -> unit
+  (** [publish ?prefix d] surfaces [d] as gauges
+      [<prefix>.minor_words], [<prefix>.promoted_words], …,
+      [<prefix>.peak_heap_words] (default prefix ["gc"]). No-op while
+      {!Metrics} is disabled. *)
+
+  val publish_current : ?prefix:string -> unit -> unit
+  (** [publish_current ()] publishes the absolute [Gc.quick_stat]
+      values (process-lifetime totals) plus the sampler's
+      [peak_heap_words] under the same gauge names — the right report
+      for a whole process, e.g. the CLI at exit. *)
+
+  (** {1 Peak-heap watermark sampler}
+
+      [Gc.top_heap_words] only ever grows, so it cannot attribute a
+      peak to one experiment of many in the same process. The sampler
+      hooks a [Gc.alarm] (end of every major cycle) to track the
+      maximum major-heap size since the last {!reset_peak} — a
+      per-window watermark. *)
+
+  val start_sampler : unit -> unit
+  (** Install the alarm (idempotent) and take an immediate sample. *)
+
+  val stop_sampler : unit -> unit
+  (** Remove the alarm; the recorded peak remains readable. *)
+
+  val reset_peak : unit -> unit
+  (** Restart the window: forget the old peak and sample now. *)
+
+  val peak_heap_words : unit -> int
+  (** Largest major-heap size (in words) observed since the last
+      {!reset_peak} — includes a sample taken at the call itself, so it
+      is meaningful even if no major cycle ended in the window. *)
+end
+
 (** Render the registry (and span forest, if any) in three formats. *)
 module Export : sig
   val pp_summary : Format.formatter -> unit -> unit

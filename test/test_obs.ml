@@ -221,6 +221,74 @@ let test_summary_export () =
     (contains ~needle:"test.summary" s)
 
 (* ------------------------------------------------------------------ *)
+(* Resource profiling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocate enough boxed data that minor_words must move. *)
+let churn n =
+  let acc = ref [] in
+  for i = 1 to n do
+    acc := float_of_int i :: !acc
+  done;
+  List.length !acc
+
+let test_resource_measure_nonneg () =
+  let len, d = Obs.Resource.measure (fun () -> churn 100_000) in
+  Alcotest.(check int) "thunk result passes through" 100_000 len;
+  Alcotest.(check bool) "minor words allocated" true (d.Obs.Resource.minor_words > 0.0);
+  Alcotest.(check bool) "promoted words non-negative" true (d.promoted_words >= 0.0);
+  Alcotest.(check bool) "major words non-negative" true (d.major_words >= 0.0);
+  Alcotest.(check bool) "minor collections non-negative" true (d.minor_collections >= 0);
+  Alcotest.(check bool) "major collections non-negative" true (d.major_collections >= 0);
+  Alcotest.(check bool) "compactions non-negative" true (d.compactions >= 0);
+  Alcotest.(check bool) "top-heap growth non-negative" true (d.top_heap_words >= 0)
+
+let test_resource_measure_nesting () =
+  let (_, inner), outer =
+    Obs.Resource.measure (fun () ->
+        let before = Obs.Resource.measure (fun () -> churn 50_000) in
+        ignore (churn 50_000);
+        before)
+  in
+  Alcotest.(check bool) "outer includes inner minor words" true
+    (outer.Obs.Resource.minor_words >= inner.Obs.Resource.minor_words);
+  Alcotest.(check bool) "outer includes inner collections" true
+    (outer.minor_collections >= inner.minor_collections)
+
+let test_resource_add () =
+  let _, a = Obs.Resource.measure (fun () -> churn 10_000) in
+  let sum = Obs.Resource.add a a in
+  Alcotest.(check (float 1e-6)) "add doubles minor words" (2.0 *. a.Obs.Resource.minor_words)
+    sum.Obs.Resource.minor_words;
+  Alcotest.(check int) "add sums collections" (2 * a.minor_collections) sum.minor_collections;
+  Alcotest.(check bool) "zero is neutral" true (Obs.Resource.add Obs.Resource.zero a = a)
+
+let test_resource_peak_sampler () =
+  Obs.Resource.start_sampler ();
+  Obs.Resource.reset_peak ();
+  let p0 = Obs.Resource.peak_heap_words () in
+  Alcotest.(check bool) "peak positive" true (p0 > 0);
+  (* grow the major heap, then force a major cycle so the alarm fires *)
+  let big = Array.init 200_000 (fun i -> float_of_int i) in
+  Gc.full_major ();
+  let p1 = Obs.Resource.peak_heap_words () in
+  ignore (Array.length big);
+  Alcotest.(check bool) "peak grew with the heap" true (p1 >= p0);
+  Obs.Resource.stop_sampler ();
+  Obs.Resource.reset_peak ();
+  let p2 = Obs.Resource.peak_heap_words () in
+  Alcotest.(check bool) "reset re-arms from the current heap" true (p2 > 0 && p2 <= p1)
+
+let test_resource_publish () =
+  with_clean_obs @@ fun () ->
+  let _, d = Obs.Resource.measure (fun () -> churn 50_000) in
+  Obs.Resource.publish ~prefix:"test.gc" d;
+  Alcotest.(check (float 0.0)) "gauge mirrors the delta" d.Obs.Resource.minor_words
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge "test.gc.minor_words"));
+  Alcotest.(check bool) "peak gauge set" true
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge "test.gc.peak_heap_words") > 0.0)
+
+(* ------------------------------------------------------------------ *)
 (* Timer                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -277,6 +345,14 @@ let () =
           Alcotest.test_case "json" `Quick test_json_export;
           Alcotest.test_case "prometheus" `Quick test_prometheus_export;
           Alcotest.test_case "summary" `Quick test_summary_export;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "measure non-negative" `Quick test_resource_measure_nonneg;
+          Alcotest.test_case "measure nesting" `Quick test_resource_measure_nesting;
+          Alcotest.test_case "delta addition" `Quick test_resource_add;
+          Alcotest.test_case "peak-heap sampler" `Quick test_resource_peak_sampler;
+          Alcotest.test_case "gauge publication" `Quick test_resource_publish;
         ] );
       ( "timer",
         [
