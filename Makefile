@@ -7,8 +7,12 @@ all: build
 build:
 	dune build
 
+# The suite runs twice: fully serial and with a 4-domain pool. The
+# results must be identical (the Par determinism contract); --force
+# because dune would otherwise serve the second run from cache.
 test:
-	dune runtest
+	CLUSEQ_DOMAINS=1 dune runtest --force
+	CLUSEQ_DOMAINS=4 dune runtest --force
 
 bench:
 	dune exec bench/main.exe
@@ -16,11 +20,14 @@ bench:
 # Perf regression smoke gate: re-run a fast experiment at the baseline's
 # scale and compare against the committed BENCH_baseline.json. The
 # threshold is deliberately loose (machines differ); it exists to catch
-# order-of-magnitude regressions, not 10% jitter. Refresh the baseline
-# with: dune exec bench/main.exe -- --scale 0.25 --record BENCH_baseline.json
+# order-of-magnitude regressions, not 10% jitter. --domains is pinned to
+# 1 so the timings stay comparable across machines with different core
+# counts (the comparer rejects mismatched domain counts). Refresh the
+# baseline with:
+#   dune exec bench/main.exe -- --scale 0.25 --domains 1 --record BENCH_baseline.json
 bench-smoke: build
 	@tmp=$$(mktemp -d); \
-	dune exec bench/main.exe -- table4 --scale 0.25 \
+	dune exec bench/main.exe -- table4 --scale 0.25 --domains 1 \
 	  --record $$tmp/BENCH_smoke.json >/dev/null; \
 	dune exec bench/main.exe -- compare BENCH_baseline.json \
 	  $$tmp/BENCH_smoke.json --threshold 250 --quality-threshold 5 \

@@ -4,6 +4,7 @@
      dune exec bench/main.exe                 # every experiment, scale 1
      dune exec bench/main.exe -- table2 fig4  # selected experiments
      dune exec bench/main.exe -- --scale 0.5  # half-size workloads
+     dune exec bench/main.exe -- --domains 4  # domain-pool size (1 = serial)
      dune exec bench/main.exe -- --list       # experiment inventory
      dune exec bench/main.exe -- --csv out/   # also write tables as CSV
      dune exec bench/main.exe -- --metrics-dir out/  # per-experiment metrics JSON
@@ -37,6 +38,11 @@ let positive_float ~flag v =
   match float_of_string_opt v with
   | Some f when f > 0.0 -> f
   | _ -> die "%s expects a positive number" flag
+
+let positive_int ~flag v =
+  match int_of_string_opt v with
+  | Some i when i > 0 -> i
+  | _ -> die "%s expects a positive integer" flag
 
 (* ------------------------------------------------------------------ *)
 (* compare subcommand                                                  *)
@@ -126,6 +132,10 @@ let () =
             let v, rest = operand ~flag:"--scale" rest in
             scale := positive_float ~flag:"--scale" v;
             parse rest
+        | "--domains" :: rest ->
+            let v, rest = operand ~flag:"--domains" rest in
+            Par.set_default_domains (positive_int ~flag:"--domains" v);
+            parse rest
         | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
             die "unknown option %s (try --list for experiments)" flag
         | id :: rest ->
@@ -153,7 +163,8 @@ let () =
       in
       let instrumented = !metrics_dir <> None || !record <> None in
       if !record <> None then Obs.Resource.start_sampler ();
-      Printf.printf "CLUSEQ benchmark harness (scale %.2f)\n" !scale;
+      Printf.printf "CLUSEQ benchmark harness (scale %.2f, domains %d)\n" !scale
+        (Par.default_domains ());
       let total = ref 0.0 in
       let recorded = ref [] in
       List.iter
@@ -196,7 +207,8 @@ let () =
           let report =
             {
               Bench_report.env =
-                Bench_report.collect_env ~label:(label_of_record_path file) ~scale:!scale;
+                Bench_report.collect_env ~label:(label_of_record_path file) ~scale:!scale
+                  ~domains:(Par.default_domains ());
               experiments = List.rev !recorded;
               micro = micro_rows;
             }

@@ -40,9 +40,10 @@ let emit_trace () = Format.eprintf "== trace ==@\n%a@?" Obs.Trace.pp ()
 
 (* Returns the verbosity count; reports are emitted via [at_exit] so a
    subcommand needs no explicit teardown. *)
-let setup_obs verbosity metrics trace =
+let setup_obs verbosity metrics trace domains =
   let vcount = List.length verbosity in
   Obs.Logging.setup ~level:(Obs.Logging.level_of_verbosity vcount) ();
+  (match domains with None -> () | Some d -> Par.set_default_domains d);
   (match metrics with
   | None -> ()
   | Some dest ->
@@ -83,7 +84,17 @@ let obs_term =
             "Record a tree of timed spans (run / iteration / phase) and print it to stderr \
              on exit.")
   in
-  Term.(const setup_obs $ verbosity $ metrics $ trace)
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Size of the scoring domain pool; 1 runs fully serial. Results are identical \
+             for any value. Defaults to the $(b,CLUSEQ_DOMAINS) environment variable, or \
+             the machine's recommended domain count.")
+  in
+  Term.(const setup_obs $ verbosity $ metrics $ trace $ domains)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)

@@ -5,42 +5,64 @@ type result = {
   iterations : int;
 }
 
-let memoize ~n dist =
+let[@inline] pair_key i j = if i < j then (i, j) else (j, i)
+
+(* Pairwise-distance cache with batched fill: each alternation phase
+   first declares the pairs it is about to read, the missing ones are
+   computed in one parallel pass over the domain pool, and the phase
+   itself then reads cache-only. Every pair is evaluated exactly once
+   (the cache dedupes across phases and iterations) and the todo list
+   is sorted, so the set of [dist] calls — and hence the result — is
+   identical for any domain count. *)
+let make_cache ~n dist =
   let cache = Hashtbl.create (4 * n) in
-  fun i j ->
-    if i = j then 0.0
-    else begin
-      let key = if i < j then (i, j) else (j, i) in
-      match Hashtbl.find_opt cache key with
-      | Some d -> d
-      | None ->
-          let d = dist (fst key) (snd key) in
-          Hashtbl.add cache key d;
-          d
-    end
+  let get i j = if i = j then 0.0 else Hashtbl.find cache (pair_key i j) in
+  let ensure add_pairs =
+    let fresh = Hashtbl.create 64 in
+    add_pairs (fun i j ->
+        if i <> j then begin
+          let key = pair_key i j in
+          if not (Hashtbl.mem cache key) then Hashtbl.replace fresh key ()
+        end);
+    let todo =
+      Array.of_list
+        (List.sort compare (Hashtbl.fold (fun key () acc -> key :: acc) fresh []))
+    in
+    let ds =
+      Par.map_chunks (Par.get_pool ()) ~n:(Array.length todo) (fun t ->
+          let i, j = todo.(t) in
+          dist i j)
+    in
+    Array.iteri (fun t key -> Hashtbl.replace cache key ds.(t)) todo
+  in
+  (get, ensure)
 
 let precompute ~n dist =
   let m = Array.make_matrix n n 0.0 in
+  Par.parallel_for (Par.get_pool ()) ~lo:0 ~hi:n (fun i ->
+      for j = i + 1 to n - 1 do
+        m.(i).(j) <- dist i j
+      done);
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      let d = dist i j in
-      m.(i).(j) <- d;
-      m.(j).(i) <- d
+      m.(j).(i) <- m.(i).(j)
     done
   done;
   fun i j -> m.(i).(j)
 
 let run rng ~k ~n ?(max_iterations = 20) dist =
   if k <= 0 || k > n then invalid_arg "Kmedoids.run";
-  let dist = memoize ~n dist in
+  let get, ensure = make_cache ~n dist in
   let medoids = Rng.sample_without_replacement rng ~k ~n in
   let labels = Array.make n 0 in
   let assign () =
+    ensure (fun need ->
+        Array.iter (fun m -> for i = 0 to n - 1 do need i m done) medoids);
     let cost = ref 0.0 in
     for i = 0 to n - 1 do
       let best = ref 0 and best_d = ref infinity in
       for c = 0 to k - 1 do
-        let d = dist i medoids.(c) in
+        let d = get i medoids.(c) in
         if d < !best_d then begin
           best_d := d;
           best := c
@@ -53,20 +75,26 @@ let run rng ~k ~n ?(max_iterations = 20) dist =
   in
   let update () =
     (* New medoid of each cluster: the member minimizing total in-cluster
-       distance. Returns whether any medoid moved. *)
+       distance. Returns whether any medoid moved. Member lists are built
+       in descending index order so candidate tie-breaking matches the
+       pre-batching implementation. *)
+    let members = Array.make k [] in
+    for i = 0 to n - 1 do
+      members.(labels.(i)) <- i :: members.(labels.(i))
+    done;
+    ensure (fun need ->
+        Array.iter
+          (fun ms -> List.iter (fun a -> List.iter (fun b -> need a b) ms) ms)
+          members);
     let moved = ref false in
     for c = 0 to k - 1 do
-      let members = ref [] in
-      for i = 0 to n - 1 do
-        if labels.(i) = c then members := i :: !members
-      done;
-      match !members with
+      match members.(c) with
       | [] -> () (* empty cluster keeps its medoid *)
       | ms ->
           let best = ref medoids.(c) and best_cost = ref infinity in
           List.iter
             (fun cand ->
-              let cost = List.fold_left (fun acc i -> acc +. dist cand i) 0.0 ms in
+              let cost = List.fold_left (fun acc i -> acc +. get cand i) 0.0 ms in
               if cost < !best_cost then begin
                 best_cost := cost;
                 best := cand

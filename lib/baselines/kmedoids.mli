@@ -21,7 +21,10 @@ val run :
     (assign-to-nearest-medoid / recompute medoid as the member minimizing
     total in-cluster distance) until stable or [max_iterations] (default
     20). [dist] is memoized internally (symmetric, zero diagonal assumed),
-    so callers can pass the raw O(l²) distance function directly.
+    so callers can pass the raw O(l²) distance function directly; missing
+    entries are evaluated in batched parallel passes over the [Par]
+    domain pool, with identical results for any domain count ([dist]
+    must be pure and safe to call from worker domains).
     Raises [Invalid_argument] when [k > n] or [k <= 0]. *)
 
 val precompute : n:int -> (int -> int -> float) -> int -> int -> float

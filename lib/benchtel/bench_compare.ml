@@ -105,6 +105,14 @@ let compare_reports ?(threshold_pct = 25.0) ?(quality_threshold_pct = 2.0)
     Error
       (Printf.sprintf "incomparable runs: base word size %d vs candidate %d" base.env.word_size
          candidate.env.word_size)
+  else if
+    (* 0 = pre-parallel-engine file with no domains field: wildcard. *)
+    base.env.domains > 0 && candidate.env.domains > 0
+    && base.env.domains <> candidate.env.domains
+  then
+    Error
+      (Printf.sprintf "incomparable runs: base --domains %d vs candidate --domains %d"
+         base.env.domains candidate.env.domains)
   else begin
     let acc = ref [] in
     let push v = acc := v :: !acc in

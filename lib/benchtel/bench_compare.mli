@@ -47,8 +47,9 @@ val compare_reports :
   unit ->
   (verdict list, string) result
 (** Defaults: [threshold_pct = 25.], [quality_threshold_pct = 2.].
-    [Error] when the two runs are incomparable ([--scale] or word size
-    differ). *)
+    [Error] when the two runs are incomparable ([--scale], word size, or
+    [--domains] differ; a recorded domain count of 0 — files predating
+    the parallel engine — matches anything). *)
 
 val has_regression : verdict list -> bool
 

@@ -11,6 +11,7 @@ type env = {
   scale : float;
   hostname : string;
   word_size : int;
+  domains : int;
 }
 
 type experiment = {
@@ -75,7 +76,7 @@ let hostname () =
   | Some h when String.trim h <> "" -> String.trim h
   | _ -> ( match Sys.getenv_opt "HOSTNAME" with Some h when h <> "" -> h | _ -> "unknown")
 
-let collect_env ~label ~scale =
+let collect_env ~label ~scale ~domains =
   {
     label;
     git_rev = git_rev ();
@@ -83,6 +84,7 @@ let collect_env ~label ~scale =
     scale;
     hostname = hostname ();
     word_size = Sys.word_size;
+    domains;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -130,6 +132,7 @@ let env_to_json (e : env) =
       ("scale", Num e.scale);
       ("hostname", Str e.hostname);
       ("word_size", num_i e.word_size);
+      ("domains", num_i e.domains);
     ]
 
 let gc_to_json (d : Obs.Resource.gc_delta) ~peak =
@@ -210,6 +213,9 @@ let env_of_json json =
     scale = get_f [ "scale" ] json;
     hostname = get_s [ "hostname" ] json;
     word_size = get_i [ "word_size" ] json;
+    (* Files written before the parallel engine lack this field; 0 means
+       "unknown" and comparisons treat it as a wildcard. *)
+    domains = get_i [ "domains" ] json;
   }
 
 let experiment_of_json id json =

@@ -21,6 +21,10 @@ type env = {
   scale : float;  (** The harness [--scale]; comparisons require equal scales. *)
   hostname : string;
   word_size : int;  (** [Sys.word_size] — GC word counts depend on it. *)
+  domains : int;
+      (** Domain-pool size the run used ([Par.default_domains]); 0 in
+          files written before the parallel engine existed, which
+          comparisons treat as a wildcard. *)
 }
 
 type experiment = {
@@ -51,10 +55,11 @@ val sequences_per_s : experiment -> float
 
 val symbols_per_s : experiment -> float
 
-val collect_env : label:string -> scale:float -> env
+val collect_env : label:string -> scale:float -> domains:int -> env
 (** Probe the environment: git rev from [.git/HEAD] (following the ref,
     including packed refs), hostname from [/proc] or [$HOSTNAME]; both
-    degrade to ["unknown"]. *)
+    degrade to ["unknown"]. [domains] is the domain-pool size in effect
+    for the run (pass [Par.default_domains ()]). *)
 
 val capture :
   id:string ->

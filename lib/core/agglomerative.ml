@@ -18,12 +18,19 @@ let cluster ?(linkage = Average) ?(measure = Variational) ?pst_config ~k db =
       (Seq_database.sequences db)
   in
   let dist_fn = match measure with Variational -> Divergence.variational | Kl_symmetric -> Divergence.kl_symmetric in
+  (* O(N²) model-divergence matrix: rows fan out over the domain pool
+     (each worker writes only its own row's upper triangle), the mirror
+     fill stays serial. Divergence evaluation is read-only on the
+     models, and each cell is computed exactly once, so the matrix is
+     identical for any domain count. *)
   let dist = Array.make_matrix n n 0.0 in
+  Par.parallel_for (Par.get_pool ()) ~lo:0 ~hi:n (fun i ->
+      for j = i + 1 to n - 1 do
+        dist.(i).(j) <- dist_fn models.(i) models.(j)
+      done);
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      let d = dist_fn models.(i) models.(j) in
-      dist.(i).(j) <- d;
-      dist.(j).(i) <- d
+      dist.(j).(i) <- dist.(i).(j)
     done
   done;
   (* Union-find-free agglomeration: active cluster = list of members;

@@ -13,7 +13,9 @@ type verdict = {
 
 let make ~models ~log_background ~t_linear ?alphabet () =
   if models = [] then invalid_arg "Classifier.make: no models";
-  if t_linear < 1.0 then invalid_arg "Classifier.make: t_linear must be >= 1";
+  (* [< 1.0] alone lets NaN through (NaN comparisons are false). *)
+  if not (Float.is_finite t_linear && t_linear >= 1.0) then
+    invalid_arg "Classifier.make: t_linear must be a finite value >= 1";
   let models = Array.of_list (List.sort compare models) in
   { models; log_background; log_t = log t_linear; alphabet }
 
@@ -38,8 +40,12 @@ let classify t s =
   | (best, score) :: _ ->
       { cluster = (if score >= t.log_t then Some best else None); log_sim = score; scores }
 
+(* Batch scoring is read-only against the stored models, so verdicts fan
+   out over the domain pool; results are gathered by sequence index, so
+   the output is identical for any domain count. *)
 let classify_all t db =
-  Array.map (classify t) (Seq_database.sequences db)
+  let seqs = Seq_database.sequences db in
+  Par.map_chunks (Par.get_pool ()) ~n:(Array.length seqs) (fun i -> classify t seqs.(i))
 
 let n_clusters t = Array.length t.models
 let threshold t = exp t.log_t

@@ -104,12 +104,17 @@ let pst_config (cfg : config) ~alphabet_size : Pst.config =
   }
 
 (* Seed selection (paper Sec. 4.1): greedily pick, among sampled unclustered
-   sequences, the one least similar to every cluster chosen so far. *)
+   sequences, the one least similar to every cluster chosen so far. The
+   similarity sweeps are read-only against frozen PSTs and fan out over
+   the domain pool; the greedy argmin and all max-similarity updates run
+   on the calling domain in sample order, so the chosen seeds are
+   independent of the pool size. *)
 let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
   let lbg = Seq_database.log_background db in
   let pool = Array.of_list unclustered in
   if Array.length pool = 0 || k_n <= 0 then []
   else begin
+    let par = Par.get_pool () in
     let k_n = min k_n (Array.length pool) in
     let m = min (cfg.sample_factor * k_n) (Array.length pool) in
     let chosen = Rng.sample_without_replacement rng ~k:m ~n:(Array.length pool) in
@@ -117,13 +122,11 @@ let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
     (* Cache each sample's max similarity to the existing clusters; the
        greedy loop only adds similarities to freshly created clusters. *)
     let max_sim =
-      Array.map
-        (fun sid ->
+      Par.map_chunks par ~n:m (fun j ->
+          let s = Seq_database.get db samples.(j) in
           List.fold_left
-            (fun acc cl ->
-              Float.max acc (Cluster.similarity cl ~log_background:lbg (Seq_database.get db sid)).log_sim)
+            (fun acc cl -> Float.max acc (Cluster.similarity cl ~log_background:lbg s).log_sim)
             neg_infinity clusters)
-        samples
     in
     let taken = Array.make m false in
     let new_clusters = ref [] in
@@ -145,14 +148,17 @@ let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
         in
         incr id;
         new_clusters := cl :: !new_clusters;
-        (* Update remaining samples' max similarity with the new cluster. *)
+        (* Update remaining samples' max similarity with the new cluster
+           (read-only scores in parallel, element-wise maxima serially). *)
+        let sims =
+          Par.map_chunks par ~n:m (fun j' ->
+              if taken.(j') then neg_infinity
+              else
+                (Cluster.similarity cl ~log_background:lbg (Seq_database.get db samples.(j')))
+                  .log_sim)
+        in
         for j' = 0 to m - 1 do
-          if not taken.(j') then begin
-            let r =
-              Cluster.similarity cl ~log_background:lbg (Seq_database.get db samples.(j'))
-            in
-            if r.log_sim > max_sim.(j') then max_sim.(j') <- r.log_sim
-          end
+          if (not taken.(j')) && sims.(j') > max_sim.(j') then max_sim.(j') <- sims.(j')
         done
       end
     done;
@@ -213,7 +219,9 @@ let hard_labels (r : result) ~n =
 let run ?(config = default_config) db =
   let cfg = config in
   if cfg.k_init < 1 then invalid_arg "Cluseq.run: k_init must be >= 1";
-  if cfg.t_init < 1.0 then invalid_arg "Cluseq.run: t_init must be >= 1";
+  (* [not (>= 1.0)] rather than [< 1.0]: the latter lets NaN through. *)
+  if not (Float.is_finite cfg.t_init && cfg.t_init >= 1.0) then
+    invalid_arg "Cluseq.run: t_init must be a finite value >= 1";
   Obs.Metrics.incr m_runs;
   let run_t0 = if Obs.Metrics.is_enabled () then Timer.now_ns () else 0L in
   Obs.Trace.with_span "cluseq.run" @@ fun () ->
@@ -280,10 +288,29 @@ let run ?(config = default_config) db =
     next_id := !next_id + List.length fresh;
     clusters := !clusters @ fresh;
     (* --- 2. sequence reclustering --- *)
-    (* A segment updates a cluster's PST only when the sequence joins it
+    (* Split into a read-only scoring sweep and a serial apply pass (the
+       dominant cost the paper's Sec. 6 scalability figures measure).
+
+       Scoring: every (sequence, cluster) pair is scored against the
+       clusters' iteration-start PSTs, fanned out over the domain pool.
+       Each pair is independent and the PSTs are frozen, so the score
+       matrix is bit-identical for any domain count and any chunking.
+
+       Apply: joins, membership updates, and PST segment insertions run
+       on this domain only, visiting sequences in the arranged
+       examination order — all model mutation is serial and
+       deterministic. Once a cluster's PST absorbs a fresh joiner it
+       diverges from its scored snapshot, so scores against that cluster
+       are recomputed serially from then on ("dirty" below). This keeps
+       the pass equivalent to the fully serial algorithm — a growing
+       cluster attracts later sequences within the same iteration, which
+       the paper's incremental one-pass design depends on — while the
+       stable majority of clusters still reads the parallel matrix.
+
+       A segment updates a cluster's PST only when the sequence joins it
        afresh: re-inserting stable members every iteration would inflate
-       counts without information, making member similarities (and then the
-       threshold valley) grow without bound. *)
+       counts without information, making member similarities (and then
+       the threshold valley) grow without bound. *)
     let new_best, new_assignments, samples =
       phase 1 @@ fun () ->
       let prev_members = Hashtbl.create 16 in
@@ -292,16 +319,26 @@ let run ?(config = default_config) db =
         !clusters;
       List.iter Cluster.clear_members !clusters;
       let order = Order.arrange cfg.order rng ~n ~best:!best in
+      let clusters_arr = Array.of_list !clusters in
+      let scores =
+        Par.map_chunks (Par.get_pool ()) ~n (fun sid ->
+            let s = Seq_database.get db sid in
+            Array.map (fun cl -> Cluster.similarity cl ~log_background:lbg s) clusters_arr)
+      in
       let new_best = Array.make n None in
       let new_assignments = Array.make n [] in
+      let dirty = Array.make (Array.length clusters_arr) false in
       let samples = ref [] and n_samples = ref 0 in
       let log_t = Threshold.log_t threshold in
       Array.iter
         (fun sid ->
           let s = Seq_database.get db sid in
-          List.iter
-            (fun cl ->
-              let r = Cluster.similarity cl ~log_background:lbg s in
+          Array.iteri
+            (fun ci snapshot ->
+              let cl = clusters_arr.(ci) in
+              let r : Similarity.result =
+                if dirty.(ci) then Cluster.similarity cl ~log_background:lbg s else snapshot
+              in
               if Float.is_finite r.log_sim then begin
                 samples := r.log_sim :: !samples;
                 incr n_samples
@@ -313,14 +350,17 @@ let run ?(config = default_config) db =
                   | None -> false
                 in
                 if was_member then Cluster.add_member cl sid
-                else Cluster.absorb cl ~seq_id:sid s r;
+                else begin
+                  Cluster.absorb cl ~seq_id:sid s r;
+                  dirty.(ci) <- true
+                end;
                 new_assignments.(sid) <- Cluster.id cl :: new_assignments.(sid)
               end;
               (match new_best.(sid) with
               | Some (_, b) when b >= r.log_sim -> ()
               | _ ->
                   if Float.is_finite r.log_sim then new_best.(sid) <- Some (Cluster.id cl, r.log_sim)))
-            !clusters)
+            scores.(sid))
         order;
       Array.iteri (fun i l -> new_assignments.(i) <- List.rev l) new_assignments;
       (new_best, new_assignments, !samples)
@@ -332,11 +372,15 @@ let run ?(config = default_config) db =
         if cfg.consolidate then consolidate ~min_residual !clusters else (!clusters, 0)
       in
       clusters := retained;
-      (* Strip memberships of dismissed clusters. *)
+      (* Strip memberships of dismissed clusters. Alive ids go into a
+         hash set first: filtering each assignment list against an alive
+         *list* is O(n·k²) at scale (every sequence × every assignment ×
+         every alive cluster). *)
       if dropped > 0 then begin
-        let alive = List.map Cluster.id retained in
+        let alive = Hashtbl.create (2 * List.length retained) in
+        List.iter (fun cl -> Hashtbl.replace alive (Cluster.id cl) ()) retained;
         Array.iteri
-          (fun i l -> new_assignments.(i) <- List.filter (fun c -> List.mem c alive) l)
+          (fun i l -> new_assignments.(i) <- List.filter (Hashtbl.mem alive) l)
           new_assignments
       end;
       dropped

@@ -5,9 +5,16 @@ let empty_result = { log_sim = neg_infinity; seg_lo = -1; seg_hi = -1 }
 let m_calls = Obs.Metrics.counter "similarity.calls"
 let m_symbols_scanned = Obs.Metrics.counter "similarity.symbols_scanned"
 
+(* The X_i kernel of the paper's dynamic program:
+   X_i = log P_S(s_i | s_1 .. s_{i-1}) - log p(s_i). The one definition
+   shared by the fast scan ([score]) and the O(l²) reference
+   ([score_brute] via [xs]), so the two cannot drift; the brute-vs-fast
+   property test in test_similarity.ml guards the equivalence. *)
+let[@inline] x_at pst ~log_background s i =
+  Pst.log_prob pst s ~lo:0 ~pos:i -. log_background.(s.(i))
+
 let xs pst ~log_background s =
-  Array.init (Array.length s) (fun i ->
-      Pst.log_prob pst s ~lo:0 ~pos:i -. log_background.(s.(i)))
+  Array.init (Array.length s) (fun i -> x_at pst ~log_background s i)
 
 let score pst ~log_background s =
   let l = Array.length s in
@@ -20,7 +27,7 @@ let score pst ~log_background s =
     let start = ref 0 in
     let best_lo = ref 0 and best_hi = ref 0 in
     for i = 0 to l - 1 do
-      let x = Pst.log_prob pst s ~lo:0 ~pos:i -. log_background.(s.(i)) in
+      let x = x_at pst ~log_background s i in
       (* Y_i = max (Y_{i-1} + X_i, X_i): extend the running segment only
          when its accumulated log-similarity is non-negative. *)
       if !y >= 0.0 then y := !y +. x
@@ -58,7 +65,11 @@ let score_brute pst ~log_background s =
   end
 
 let log_of_linear t =
-  if t <= 0.0 then invalid_arg "Similarity.log_of_linear: t must be positive";
+  (* [t <= 0.0] alone lets NaN through (every NaN comparison is false),
+     which would propagate a NaN log threshold that silently fails all
+     join tests downstream. *)
+  if not (Float.is_finite t) || t <= 0.0 then
+    invalid_arg "Similarity.log_of_linear: t must be a positive finite value";
   log t
 
 let linear_of_log lt = exp (Float.min 500.0 lt)

@@ -30,10 +30,17 @@ val score_brute : Pst.t -> log_background:float array -> Sequence.t -> result
 (** Reference implementation: explicitly maximizes over all O(l²) segments.
     Exposed for property tests; do not use on long sequences. *)
 
+val xs : Pst.t -> log_background:float array -> Sequence.t -> float array
+(** [xs pst ~log_background s] is the per-position {m X_i} array the DP
+    maximizes over — the same kernel {!score} scans, exposed so tests can
+    check the two never drift apart (and for callers that need the raw
+    profile, e.g. threshold histograms). *)
+
 val log_of_linear : float -> float
 (** [log_of_linear t] converts a user-facing linear similarity threshold
     (e.g. the paper's [t = 1.0005]) into log space. Raises
-    [Invalid_argument] if [t <= 0]. *)
+    [Invalid_argument] unless [t] is finite and [> 0] — NaN and
+    infinities are rejected, not just non-positive values. *)
 
 val linear_of_log : float -> float
 (** Inverse of {!log_of_linear} (clamped to avoid overflow). *)

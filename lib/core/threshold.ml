@@ -1,7 +1,11 @@
 type t = { mutable log_t : float; mutable frozen : bool }
 
 let create ~t_init =
-  if t_init < 1.0 then invalid_arg "Threshold.create: t_init must be >= 1";
+  (* [t_init < 1.0] alone lets NaN through (NaN comparisons are false);
+     [log nan] would then make every subsequent join test silently
+     false. Reject non-finite inputs outright. *)
+  if not (Float.is_finite t_init) || t_init < 1.0 then
+    invalid_arg "Threshold.create: t_init must be a finite value >= 1";
   { log_t = log t_init; frozen = false }
 
 let log_t t = t.log_t

@@ -17,7 +17,8 @@ type t
 
 val create : t_init:float -> t
 (** [create ~t_init] starts from the linear threshold [t_init] (must be
-    [>= 1.0], per paper Sec. 2). *)
+    finite and [>= 1.0], per paper Sec. 2; NaN and infinities raise
+    [Invalid_argument]). *)
 
 val log_t : t -> float
 (** Current threshold, in log space. *)

@@ -2,10 +2,13 @@
    fixed-bucket histograms), span-based tracing on the monotonic clock,
    and exporters (human summary, JSON, Prometheus text format).
 
-   Everything is single-domain mutable state — lock-free by construction
-   in the current runtime. Instrumented code pays one [bool ref]
-   dereference per event while disabled, so leaving call sites
-   permanently instrumented is free. *)
+   Counters are [Atomic.t]: the Par worker domains score sequences
+   through instrumented read paths (Similarity.score, Pst.log_prob), so
+   counter increments must not race. Everything else (gauges,
+   histograms, tracing, registration) remains main-domain mutable state
+   — the serial-mutate side of the pipeline is the only writer.
+   Instrumented code pays one [bool ref] dereference per event while
+   disabled, so leaving call sites permanently instrumented is free. *)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -17,7 +20,7 @@ module Metrics = struct
   let disable () = enabled := false
   let is_enabled () = !enabled
 
-  type counter = { c_name : string; mutable c_value : int }
+  type counter = { c_name : string; c_value : int Atomic.t }
   type gauge = { g_name : string; mutable g_value : float }
 
   type histogram = {
@@ -40,12 +43,12 @@ module Metrics = struct
     | Some (Counter c) -> c
     | Some _ -> kind_mismatch name
     | None ->
-        let c = { c_name = name; c_value = 0 } in
+        let c = { c_name = name; c_value = Atomic.make 0 } in
         Hashtbl.add registry name (Counter c);
         c
 
-  let incr ?(by = 1) c = if !enabled then c.c_value <- c.c_value + by
-  let counter_value c = c.c_value
+  let incr ?(by = 1) c = if !enabled then ignore (Atomic.fetch_and_add c.c_value by)
+  let counter_value c = Atomic.get c.c_value
   let counter_name c = c.c_name
 
   let gauge name =
@@ -109,7 +112,7 @@ module Metrics = struct
     Hashtbl.iter
       (fun _ e ->
         match e with
-        | Counter c -> c.c_value <- 0
+        | Counter c -> Atomic.set c.c_value 0
         | Gauge g -> g.g_value <- 0.0
         | Histogram h ->
             Array.fill h.counts 0 (Array.length h.counts) 0;

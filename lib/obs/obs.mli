@@ -3,9 +3,11 @@
 
     Design constraints (see DESIGN.md §6):
 
-    - {b Single-domain, lock-free.} All state is plain mutable OCaml
-      data; the current runtime is single-domain, so no locks are
-      needed or taken.
+    - {b Counters multicore-safe, everything else single-domain.}
+      Counters are atomic because the [Par] worker domains drive
+      instrumented read paths ([Similarity.score], [Pst.log_prob]);
+      gauges, histograms, tracing, and registration are plain mutable
+      data touched only by the main (serial-mutate) domain.
     - {b Free when disabled.} Both metrics and tracing default to
       disabled; an instrumented call site then costs one [bool ref]
       dereference and branch (a few ns at most), so hot paths stay

@@ -1,0 +1,241 @@
+(* Persistent domain pool; see par.mli for the contract.
+
+   One job at a time: the submitter publishes a chunk body under the
+   mutex, broadcasts, and then participates in draining the chunk queue
+   exactly like a worker. Chunks are claimed dynamically (whichever
+   domain is free takes the next index), which balances uneven chunk
+   costs, but every result is written to a slot addressed by chunk
+   index, so scheduling never leaks into the output. *)
+
+let m_domains = Obs.Metrics.gauge "par.domains"
+let m_tasks = Obs.Metrics.counter "par.tasks"
+let h_steal_wait = Obs.Metrics.histogram "par.steal_wait_seconds"
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  has_work : Condition.t; (* workers: a job arrived or shutdown began *)
+  all_done : Condition.t; (* submitter: the current job fully finished *)
+  mutable body : (int -> unit) option; (* chunk body of the active job *)
+  mutable n_chunks : int;
+  mutable next_chunk : int; (* next unclaimed chunk *)
+  mutable in_flight : int; (* chunks claimed but not yet finished *)
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+      (* lowest-chunk-index failure of the active job *)
+  mutable busy : bool; (* a job is active (submission through completion) *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Claim and run chunks until the queue is empty. Called with [t.mutex]
+   held; returns with it held. Shared by workers and the submitter. *)
+let drain_chunks t =
+  let continue_ = ref true in
+  while !continue_ do
+    match t.body with
+    | Some body when t.next_chunk < t.n_chunks ->
+        let idx = t.next_chunk in
+        t.next_chunk <- idx + 1;
+        t.in_flight <- t.in_flight + 1;
+        Mutex.unlock t.mutex;
+        let err =
+          try
+            body idx;
+            None
+          with e -> Some (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock t.mutex;
+        (match err with
+        | None -> ()
+        | Some (e, bt) -> (
+            match t.failure with
+            | Some (i, _, _) when i <= idx -> ()
+            | _ -> t.failure <- Some (idx, e, bt)));
+        t.in_flight <- t.in_flight - 1;
+        if t.next_chunk >= t.n_chunks && t.in_flight = 0 then begin
+          (* Last chunk of the job: retire it and wake the submitter. *)
+          t.body <- None;
+          Condition.broadcast t.all_done
+        end
+    | _ -> continue_ := false
+  done
+
+let worker t =
+  Mutex.lock t.mutex;
+  while not t.stopped do
+    drain_chunks t;
+    if not t.stopped then Condition.wait t.has_work t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let clamp_domains d = if d < 1 then 1 else if d > 64 then 64 else d
+
+let env_domains () =
+  match Sys.getenv_opt "CLUSEQ_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> Some (clamp_domains d)
+      | _ -> None)
+
+let create ?domains () =
+  let size =
+    clamp_domains
+      (match domains with
+      | Some d -> d
+      | None -> (
+          match env_domains () with
+          | Some d -> d
+          | None -> Domain.recommended_domain_count ()))
+  in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      all_done = Condition.create ();
+      body = None;
+      n_chunks = 0;
+      next_chunk = 0;
+      in_flight = 0;
+      failure = None;
+      busy = false;
+      stopped = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ws = t.workers in
+  t.stopped <- true;
+  t.workers <- [];
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ws
+
+(* Run [body 0 .. body (n_chunks-1)], using the pool when it buys
+   anything. The inline path (pool of 1, single chunk, nested
+   submission) is the serial loop verbatim: exceptions propagate
+   directly and no lock is taken. *)
+let run_job t ~n_chunks body =
+  if t.stopped then invalid_arg "Par: pool is shut down";
+  if n_chunks > 0 then begin
+    if t.size = 1 || n_chunks = 1 || t.busy then
+      for i = 0 to n_chunks - 1 do
+        body i
+      done
+    else begin
+      Obs.Metrics.set m_domains (float_of_int t.size);
+      Obs.Metrics.incr ~by:n_chunks m_tasks;
+      Mutex.lock t.mutex;
+      t.busy <- true;
+      t.n_chunks <- n_chunks;
+      t.next_chunk <- 0;
+      t.failure <- None;
+      t.body <- Some body;
+      Condition.broadcast t.has_work;
+      drain_chunks t;
+      (* The queue is empty but workers may still be finishing claimed
+         chunks; the straggler wait is the pool's imbalance cost. *)
+      let wait_t0 =
+        if t.body <> None && Obs.Metrics.is_enabled () then Timer.now_ns () else 0L
+      in
+      while t.body <> None do
+        Condition.wait t.all_done t.mutex
+      done;
+      if wait_t0 <> 0L then
+        Obs.Metrics.observe h_steal_wait (Timer.span_s wait_t0 (Timer.now_ns ()));
+      let failure = t.failure in
+      t.failure <- None;
+      t.busy <- false;
+      Mutex.unlock t.mutex;
+      match failure with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+(* Balanced contiguous partition of [0, n) into [n_chunks] ranges:
+   the first [n mod n_chunks] chunks get one extra element. *)
+let chunk_bounds ~n ~n_chunks ci =
+  let q = n / n_chunks and r = n mod n_chunks in
+  let lo = (ci * q) + min ci r in
+  let hi = lo + q + if ci < r then 1 else 0 in
+  (lo, hi)
+
+let resolve_chunks t ?chunks n =
+  let c = match chunks with Some c when c > 0 -> c | _ -> 4 * t.size in
+  min n c
+
+let parallel_for t ?chunks ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let n_chunks = resolve_chunks t ?chunks n in
+    run_job t ~n_chunks (fun ci ->
+        let clo, chi = chunk_bounds ~n ~n_chunks ci in
+        for i = lo + clo to lo + chi - 1 do
+          f i
+        done)
+  end
+
+let map_chunks t ?chunks ~n f =
+  if n <= 0 then [||]
+  else begin
+    let n_chunks = resolve_chunks t ?chunks n in
+    let parts = Array.make n_chunks [||] in
+    run_job t ~n_chunks (fun ci ->
+        let lo, hi = chunk_bounds ~n ~n_chunks ci in
+        parts.(ci) <- Array.init (hi - lo) (fun k -> f (lo + k)));
+    Array.concat (Array.to_list parts)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Global pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let configured_domains : int option ref = ref None
+let global : t option ref = ref None
+let exit_hook_installed = ref false
+
+let default_domains () =
+  match !configured_domains with
+  | Some d -> d
+  | None ->
+      let d =
+        match env_domains () with
+        | Some d -> d
+        | None -> clamp_domains (Domain.recommended_domain_count ())
+      in
+      configured_domains := Some d;
+      d
+
+let set_default_domains d =
+  let d = clamp_domains d in
+  configured_domains := Some d;
+  match !global with
+  | Some p when p.size <> d ->
+      global := None;
+      shutdown p
+  | _ -> ()
+
+let get_pool () =
+  match !global with
+  | Some p -> p
+  | None ->
+      let p = create ~domains:(default_domains ()) () in
+      global := Some p;
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        at_exit (fun () ->
+            match !global with
+            | Some p ->
+                global := None;
+                shutdown p
+            | None -> ())
+      end;
+      p

@@ -95,7 +95,8 @@ let experiment ?(id = "table2") ?(wall = 10.0) ?(cluseq_s = 8.0) ?(quality = Som
     quality;
   }
 
-let report ?(scale = 0.25) ?experiments ?(micro = [ ("cluseq/pst-insert", 5200.0) ]) () =
+let report ?(scale = 0.25) ?(domains = 1) ?experiments
+    ?(micro = [ ("cluseq/pst-insert", 5200.0) ]) () =
   {
     Bench_report.env =
       {
@@ -105,6 +106,7 @@ let report ?(scale = 0.25) ?experiments ?(micro = [ ("cluseq/pst-insert", 5200.0
         scale;
         hostname = "testhost";
         word_size = Sys.word_size;
+        domains;
       };
     experiments =
       (match experiments with
@@ -360,6 +362,28 @@ let test_compare_rejects_scale_mismatch () =
   | Ok _ -> Alcotest.fail "scale mismatch accepted"
   | Error _ -> ()
 
+let test_compare_rejects_domains_mismatch () =
+  (match
+     Bench_compare.compare_reports ~base:(report ~domains:1 ())
+       ~candidate:(report ~domains:4 ()) ()
+   with
+  | Ok _ -> Alcotest.fail "domains mismatch accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error names --domains" true
+        (let contains ~needle hay =
+           let nl = String.length needle and hl = String.length hay in
+           let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+           go 0
+         in
+         contains ~needle:"--domains" msg));
+  (* Files written before the field existed read back as 0: wildcard. *)
+  match
+    Bench_compare.compare_reports ~base:(report ~domains:0 ())
+      ~candidate:(report ~domains:4 ()) ()
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "legacy domains=0 should compare: %s" msg
+
 let test_compare_micro_regression () =
   let base = report ~micro:[ ("cluseq/similarity-dp", 1000.0) ] () in
   let slowed = { base with micro = [ ("cluseq/similarity-dp", 2100.0) ] } in
@@ -400,6 +424,8 @@ let () =
           Alcotest.test_case "added/removed experiments tolerated" `Quick
             test_compare_tolerates_experiment_sets;
           Alcotest.test_case "scale mismatch rejected" `Quick test_compare_rejects_scale_mismatch;
+          Alcotest.test_case "domains mismatch rejected" `Quick
+            test_compare_rejects_domains_mismatch;
           Alcotest.test_case "micro regression flagged" `Quick test_compare_micro_regression;
         ] );
     ]

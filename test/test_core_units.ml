@@ -49,7 +49,16 @@ let test_threshold_create () =
   Alcotest.(check (float 1e-9)) "linear t" 2.0 (Threshold.linear_t t);
   Alcotest.(check bool) "not frozen" false (Threshold.frozen t);
   Alcotest.(check bool) "t < 1 rejected" true
-    (try ignore (Threshold.create ~t_init:0.5); false with Invalid_argument _ -> true)
+    (try ignore (Threshold.create ~t_init:0.5); false with Invalid_argument _ -> true);
+  (* A plain [t_init < 1.0] guard lets NaN through (NaN comparisons are
+     always false); non-finite values must be rejected too. *)
+  List.iter
+    (fun (label, bad) ->
+      Alcotest.(check bool) label true
+        (try ignore (Threshold.create ~t_init:bad); false with Invalid_argument _ -> true))
+    [ ("NaN rejected", Float.nan);
+      ("+inf rejected", Float.infinity);
+      ("-inf rejected", Float.neg_infinity) ]
 
 let test_threshold_moves_toward_valley () =
   let t = Threshold.create ~t_init:1.0 in

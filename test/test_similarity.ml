@@ -84,9 +84,18 @@ let test_log_linear_conversion () =
     (Similarity.linear_of_log (Similarity.log_of_linear 2.5));
   Alcotest.(check bool) "huge log does not overflow" true
     (Float.is_finite (Similarity.linear_of_log 1000.0));
-  Alcotest.check_raises "non-positive threshold"
-    (Invalid_argument "Similarity.log_of_linear: t must be positive") (fun () ->
-      ignore (Similarity.log_of_linear 0.0))
+  let rejects label t =
+    Alcotest.check_raises label
+      (Invalid_argument "Similarity.log_of_linear: t must be a positive finite value")
+      (fun () -> ignore (Similarity.log_of_linear t))
+  in
+  rejects "non-positive threshold" 0.0;
+  rejects "negative threshold" (-1.5);
+  (* NaN slips past a plain [t <= 0.0] guard because NaN comparisons are
+     always false — it must still be rejected. *)
+  rejects "NaN threshold" Float.nan;
+  rejects "infinite threshold" Float.infinity;
+  rejects "negative-infinite threshold" Float.neg_infinity
 
 let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 1 40) (Gen.char_range 'a' 'd'))
 
@@ -104,6 +113,26 @@ let qcheck_tests =
               is NaN). *)
            fast.log_sim = brute.log_sim
            || Float.abs (fast.log_sim -. brute.log_sim) < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"score = brute max-subarray over xs" ~count:200
+         (QCheck.pair seq_gen seq_gen)
+         (fun (cluster, probe) ->
+           (* [score] and [xs] must agree on the per-position X_i kernel:
+              an O(l²) maximization over every segment of the [xs] array
+              must reproduce the Kadane result exactly. *)
+           let t = build [ cluster ] in
+           let s = Sequence.of_string alpha probe in
+           let r = Similarity.score t ~log_background:uniform_lbg s in
+           let x = Similarity.xs t ~log_background:uniform_lbg s in
+           let best = ref neg_infinity in
+           for lo = 0 to Array.length x - 1 do
+             let sum = ref 0.0 in
+             for hi = lo to Array.length x - 1 do
+               sum := !sum +. x.(hi);
+               if !sum > !best then best := !sum
+             done
+           done;
+           r.log_sim = !best || Float.abs (r.log_sim -. !best) < 1e-9));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"segment bounds valid" ~count:200
          (QCheck.pair seq_gen seq_gen)
