@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one CI should run.
 
-.PHONY: all build test bench bench-smoke check fmt clean
+.PHONY: all build test bench bench-smoke check fuzz coverage fmt clean
 
 all: build
 
@@ -35,9 +35,16 @@ bench-smoke: build
 	rm -rf $$tmp; \
 	echo "bench-smoke: OK"
 
-# Full gate: build, unit tests, the CLI metrics smoke run (generate ->
-# cluster --metrics -> grep), and the perf regression smoke gate.
-check: build test bench-smoke
+# Deterministic fuzz sweep over every correctness oracle (differential
+# PST, brute-force similarity, serial reclustering replay, 1-vs-4-domain
+# determinism). A failure prints a minimized workload and a replay seed.
+fuzz: build
+	dune exec bin/cluseq_cli.exe -- check --fuzz 200 --seed 42
+
+# Full gate: build, unit tests, the fuzz sweep, the CLI metrics smoke
+# run (generate -> cluster --metrics -> grep), and the perf regression
+# smoke gate.
+check: build test fuzz bench-smoke
 	@tmp=$$(mktemp -d); \
 	dune exec bin/cluseq_cli.exe -- generate --kind synthetic --num 60 --len 60 \
 	  --clusters 3 -o $$tmp/smoke.tsv >/dev/null; \
@@ -54,6 +61,19 @@ check: build test bench-smoke
 # environment, so this is not part of `check`.
 fmt:
 	dune build @fmt --auto-promote
+
+# Line-coverage report for the test suite. bisect_ppx is optional (not
+# baked into every build image), so the target gates on its presence
+# rather than failing the build; when available, instrument with
+#   (preprocess (pps bisect_ppx --conditional)) via BISECT_ENABLE.
+coverage:
+	@if ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  BISECT_ENABLE=yes dune runtest --force --instrument-with bisect_ppx \
+	  && bisect-ppx-report summary --per-file; \
+	else \
+	  echo "coverage: bisect_ppx is not installed; skipping."; \
+	  echo "  opam install bisect_ppx   # then re-run: make coverage"; \
+	fi
 
 clean:
 	dune clean

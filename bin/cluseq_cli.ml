@@ -40,10 +40,11 @@ let emit_trace () = Format.eprintf "== trace ==@\n%a@?" Obs.Trace.pp ()
 
 (* Returns the verbosity count; reports are emitted via [at_exit] so a
    subcommand needs no explicit teardown. *)
-let setup_obs verbosity metrics trace domains =
+let setup_obs verbosity metrics trace domains check =
   let vcount = List.length verbosity in
   Obs.Logging.setup ~level:(Obs.Logging.level_of_verbosity vcount) ();
   (match domains with None -> () | Some d -> Par.set_default_domains d);
+  if check then Check.install_auditor () else Check.install_from_env ();
   (match metrics with
   | None -> ()
   | Some dest ->
@@ -94,7 +95,17 @@ let obs_term =
              for any value. Defaults to the $(b,CLUSEQ_DOMAINS) environment variable, or \
              the machine's recommended domain count.")
   in
-  Term.(const setup_obs $ verbosity $ metrics $ trace $ domains)
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Install the runtime correctness auditor: every reclustering pass is replayed by \
+             a serial reference implementation and every iteration's cluster invariants are \
+             verified; any divergence aborts the run. Slow — for debugging and CI. Also \
+             enabled by $(b,CLUSEQ_CHECK=1).")
+  in
+  Term.(const setup_obs $ verbosity $ metrics $ trace $ domains $ check)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -357,6 +368,74 @@ let evaluate_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let fuzz =
+    Arg.(
+      value & opt int 100
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Number of deterministic fuzz cases. Case $(i,i) is generated from seed \
+             $(i,seed+i), so a failure at case $(i,i) replays with $(b,--fuzz 1 --seed) \
+             $(i,seed+i).")
+  in
+  let file =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Optional sequence file: instead of fuzzing, run one audited clustering over it \
+             (serial reclustering replay + invariants every iteration) and verify the final \
+             result.")
+  in
+  let run _vcount fuzz_n seed file =
+    match file with
+    | Some f ->
+        let alphabet, rows = Seq_io.read_labeled f in
+        let db, _ = Seq_io.to_database alphabet rows in
+        let n = Seq_database.n_sequences db in
+        (* Scale the statistical thresholds to the file like the docs
+           recommend; the audit checks mechanics, not clustering quality. *)
+        let config =
+          { (Cluseq.scaled_config ~expected_cluster_size:(max 1 (n / 10)) ()) with seed }
+        in
+        Check.install_auditor ();
+        (match Cluseq.run ~config db with
+        | exception Check.Violation msgs ->
+            List.iter (Printf.eprintf "violation: %s\n") msgs;
+            exit 1
+        | result -> (
+            match Check.result_invariants ~n result with
+            | [] ->
+                Printf.printf
+                  "ok: audited run over %s: %d clusters in %d iterations, every oracle and \
+                   invariant holds\n"
+                  f result.n_clusters result.iterations
+            | msgs ->
+                List.iter (Printf.eprintf "violation: %s\n") msgs;
+                exit 1))
+    | None -> (
+        Printf.printf "fuzzing %d cases from seed %d\n%!" fuzz_n seed;
+        let progress i =
+          if (i + 1) mod 50 = 0 then Printf.printf "  %d/%d ok\n%!" (i + 1) fuzz_n
+        in
+        match Fuzz.run ~progress ~n:fuzz_n ~seed () with
+        | Ok n -> Printf.printf "ok: %d fuzz cases, zero oracle mismatches\n" n
+        | Error failure ->
+            Format.eprintf "%a@." Fuzz.pp_failure failure;
+            exit 1)
+  in
+  let term = Term.(const run $ obs_term $ fuzz $ seed_arg $ file) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the correctness tooling: differential fuzzing of the whole pipeline, or an \
+          audited clustering of a real file.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* info                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -378,4 +457,4 @@ let () =
   let doc = "CLUSEQ: probabilistic-suffix-tree sequence clustering (ICDE 2003)" in
   let info = Cmd.info "cluseq" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-          [ generate_cmd; cluster_cmd; train_cmd; classify_cmd; evaluate_cmd; info_cmd ]))
+          [ generate_cmd; cluster_cmd; train_cmd; classify_cmd; evaluate_cmd; check_cmd; info_cmd ]))

@@ -1,0 +1,276 @@
+exception Violation of string list
+
+let () =
+  Printexc.register_printer (function
+    | Violation msgs ->
+        Some (Printf.sprintf "Check.Violation [%s]" (String.concat "; " msgs))
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* PST invariants                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every checker accumulates messages into a list ref so the caller gets
+   all violations at once, not just the first. *)
+
+let pst_invariants pst =
+  let cfg = Pst.config pst in
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let n = cfg.alphabet_size in
+  let traversed = ref 0 in
+  let rec walk node =
+    incr traversed;
+    let count = Pst.node_count node and depth = Pst.node_depth node in
+    let where = Printf.sprintf "depth-%d node (count %d)" depth count in
+    if count < 0 then err "%s: negative count" where;
+    if depth > cfg.max_depth then err "%s: exceeds max_depth %d" where cfg.max_depth;
+    let nt = Pst.next_total node in
+    let sum_next = ref 0 in
+    for sym = 0 to n - 1 do
+      let c = Pst.next_count node sym in
+      if c < 0 then err "%s: negative next counter for symbol %d" where sym;
+      sum_next := !sum_next + c
+    done;
+    if nt <> !sum_next then err "%s: next_total %d <> counter sum %d" where nt !sum_next;
+    if nt > count then err "%s: next_total %d exceeds count %d" where nt count;
+    let dist = Pst.next_distribution pst node in
+    let sum = Array.fold_left ( +. ) 0.0 dist in
+    if Float.abs (sum -. 1.0) > 1e-9 then err "%s: distribution sums to %.17g" where sum;
+    if nt = 0 then begin
+      let uniform = 1.0 /. float_of_int n in
+      Array.iteri
+        (fun sym p ->
+          if Float.abs (p -. uniform) > 1e-12 then
+            err "%s: no observations but P(%d) = %.17g, expected uniform %.17g" where sym p
+              uniform)
+        dist
+    end
+    else if cfg.p_min > 0.0 then begin
+      (* Smoothing bounds: raw in [0,1] maps to [p_min, 1-(n-1)p_min]. *)
+      let lo = cfg.p_min -. 1e-12 in
+      let hi = 1.0 -. (float_of_int (n - 1) *. cfg.p_min) +. 1e-12 in
+      Array.iteri
+        (fun sym p ->
+          if p < lo || p > hi then
+            err "%s: P(%d) = %.17g outside smoothed range [%.17g, %.17g]" where sym p lo hi)
+        dist
+    end;
+    let child_sum = ref 0 in
+    let prev_sym = ref (-1) in
+    List.iter
+      (fun (sym, child) ->
+        if sym <= !prev_sym then err "%s: child symbols not strictly increasing" where;
+        prev_sym := sym;
+        if sym < 0 || sym >= n then err "%s: edge symbol %d outside alphabet" where sym;
+        if Pst.node_depth child <> depth + 1 then
+          err "%s: child at depth %d, expected %d" where (Pst.node_depth child) (depth + 1);
+        if Pst.node_count child > count then
+          err "%s: child count %d exceeds parent count %d" where (Pst.node_count child) count;
+        child_sum := !child_sum + Pst.node_count child;
+        walk child)
+      (Pst.node_children node);
+    if !child_sum > count then
+      err "%s: children counts sum to %d, more than the parent's %d" where !child_sum count
+  in
+  walk (Pst.root pst);
+  if !traversed <> Pst.n_nodes pst then
+    err "n_nodes says %d but traversal found %d" (Pst.n_nodes pst) !traversed;
+  if Pst.n_nodes pst > cfg.max_nodes then
+    err "node budget violated: %d nodes > max_nodes %d" (Pst.n_nodes pst) cfg.max_nodes;
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Clustering result invariants                                        *)
+(* ------------------------------------------------------------------ *)
+
+let result_invariants ~n (r : Cluseq.result) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  if r.n_clusters <> Array.length r.clusters then
+    err "n_clusters %d <> clusters array length %d" r.n_clusters (Array.length r.clusters);
+  if Array.length r.assignments <> n then
+    err "assignments length %d <> n %d" (Array.length r.assignments) n;
+  let ids = Hashtbl.create 16 in
+  Array.iter
+    (fun (id, members) ->
+      if Hashtbl.mem ids id then err "duplicate cluster id %d" id;
+      Hashtbl.replace ids id (Bitset.of_list n (Array.to_list members));
+      let prev = ref (-1) in
+      Array.iter
+        (fun m ->
+          if m < 0 || m >= n then err "cluster %d: member %d out of range" id m
+          else begin
+            if m <= !prev then err "cluster %d: members not sorted strictly increasing" id;
+            prev := m;
+            if not (List.mem id r.assignments.(m)) then
+              err "cluster %d lists member %d but %d's assignments omit it" id m m
+          end)
+        members)
+    r.clusters;
+  Array.iteri
+    (fun sid l ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun id ->
+          if Hashtbl.mem seen id then err "sequence %d assigned to cluster %d twice" sid id;
+          Hashtbl.replace seen id ();
+          match Hashtbl.find_opt ids id with
+          | None -> err "sequence %d assigned to unknown/dismissed cluster %d" sid id
+          | Some members ->
+              if not (Bitset.mem members sid) then
+                err "sequence %d assigned to cluster %d but not in its member list" sid id)
+        l)
+    r.assignments;
+  let expected_outliers =
+    List.filter (fun i -> r.assignments.(i) = []) (List.init n Fun.id)
+  in
+  if r.outliers <> expected_outliers then
+    err "outliers list (%d entries) is not exactly the unassigned sequences (%d)"
+      (List.length r.outliers)
+      (List.length expected_outliers);
+  Array.iteri
+    (fun sid b ->
+      match b with
+      | Some (_, s) when not (Float.is_finite s) ->
+          err "sequence %d: best score %.17g is not finite" sid s
+      | _ -> ())
+    r.best;
+  let id_of (id, _) = id in
+  let cluster_ids = Array.map id_of r.clusters in
+  if Array.map id_of r.models <> cluster_ids then err "models ids do not match cluster ids";
+  if Array.map id_of r.pst_stats <> cluster_ids then
+    err "pst_stats ids do not match cluster ids";
+  Array.iter
+    (fun (id, model) ->
+      List.iter (err "model %d: %s" id) (pst_invariants model))
+    r.models;
+  List.rev !errs
+
+let cluster_invariants clusters ~assignments =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let n = Array.length assignments in
+  let ids = Hashtbl.create 16 in
+  List.iter
+    (fun cl ->
+      let id = Cluster.id cl in
+      if Hashtbl.mem ids id then err "duplicate live cluster id %d" id;
+      Hashtbl.replace ids id (Cluster.members cl);
+      let members = Cluster.members cl in
+      if Bitset.capacity members <> n then
+        err "cluster %d: bitset capacity %d <> database size %d" id (Bitset.capacity members) n
+      else
+        Bitset.iter
+          (fun sid ->
+            if not (List.mem id assignments.(sid)) then
+              err "cluster %d holds member %d missing from its assignments" id sid)
+          members;
+      List.iter (err "cluster %d PST: %s" id) (pst_invariants (Cluster.pst cl)))
+    clusters;
+  Array.iteri
+    (fun sid l ->
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt ids id with
+          | None -> err "sequence %d still assigned to dismissed cluster %d" sid id
+          | Some members ->
+              if not (Bitset.mem members sid) then
+                err "sequence %d assigned to cluster %d without bitset membership" sid id)
+        l)
+    assignments;
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Reclustering replay oracle                                          *)
+(* ------------------------------------------------------------------ *)
+
+let reference_recluster (snap : Cluseq.recluster_snapshot) =
+  let db = snap.snap_db in
+  let n = Seq_database.n_sequences db in
+  let lbg = Seq_database.log_background db in
+  let k = Array.length snap.snap_before in
+  (* Private model copies: the replay mutates them exactly as the engine
+     mutates the live clusters, so scoring "the current model" below is
+     always against the same counts the engine saw. *)
+  let psts = Array.map (fun (_, pst, _) -> Pst.copy pst) snap.snap_before in
+  let members = Array.init k (fun _ -> Bitset.create n) in
+  let assignments = Array.make n [] in
+  Array.iter
+    (fun sid ->
+      let s = Seq_database.get db sid in
+      Array.iteri
+        (fun ci (id, _, before) ->
+          let r = Similarity.score psts.(ci) ~log_background:lbg s in
+          if r.log_sim >= snap.snap_log_t then begin
+            Bitset.add members.(ci) sid;
+            (* Only a fresh joiner's best segment feeds the model; a
+               returning member must not inflate the counts. *)
+            if not (Bitset.mem before sid) then
+              Pst.insert_segment psts.(ci) s ~lo:r.seg_lo ~hi:r.seg_hi;
+            assignments.(sid) <- id :: assignments.(sid)
+          end)
+        snap.snap_before)
+    snap.snap_order;
+  Array.iteri (fun i l -> assignments.(i) <- List.rev l) assignments;
+  (Array.mapi (fun ci (id, _, _) -> (id, members.(ci))) snap.snap_before, assignments)
+
+let recluster_matches (snap : Cluseq.recluster_snapshot) ~after ~assignments =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let ref_after, ref_assignments = reference_recluster snap in
+  if Array.length after <> Array.length ref_after then
+    err "engine reports %d clusters, replay %d" (Array.length after) (Array.length ref_after)
+  else
+    Array.iteri
+      (fun ci (id, members) ->
+        let rid, rmembers = ref_after.(ci) in
+        if id <> rid then err "cluster #%d: engine id %d, replay id %d" ci id rid
+        else if not (Bitset.equal members rmembers) then
+          err "cluster %d: engine members {%s} but serial replay says {%s}" id
+            (String.concat "," (List.map string_of_int (Bitset.to_list members)))
+            (String.concat "," (List.map string_of_int (Bitset.to_list rmembers))))
+      after;
+  if Array.length assignments <> Array.length ref_assignments then
+    err "engine reports %d assignment rows, replay %d" (Array.length assignments)
+      (Array.length ref_assignments)
+  else
+    Array.iteri
+      (fun sid l ->
+        let rl = ref_assignments.(sid) in
+        if l <> rl then
+          err "sequence %d: engine assignments [%s] but serial replay says [%s]" sid
+            (String.concat ";" (List.map string_of_int l))
+            (String.concat ";" (List.map string_of_int rl)))
+      assignments;
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Auditor wiring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let raise_if ctx = function
+  | [] -> ()
+  | errs -> raise (Violation (List.map (fun e -> ctx ^ ": " ^ e) errs))
+
+let auditor () : Cluseq.auditor =
+  {
+    on_recluster =
+      (fun snap ~after ~assignments ->
+        raise_if "recluster" (recluster_matches snap ~after ~assignments));
+    on_iteration =
+      (fun ~iteration ~clusters ~assignments ->
+        raise_if
+          (Printf.sprintf "iteration %d" iteration)
+          (cluster_invariants clusters ~assignments));
+  }
+
+let install_auditor () = Cluseq.set_auditor (Some (auditor ()))
+let uninstall_auditor () = Cluseq.set_auditor None
+
+let env_enabled () =
+  match Sys.getenv_opt "CLUSEQ_CHECK" with
+  | None | Some ("" | "0" | "false" | "no") -> false
+  | Some _ -> true
+
+let install_from_env () = if env_enabled () then install_auditor ()

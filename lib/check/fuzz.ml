@@ -1,0 +1,266 @@
+type case = {
+  case_seed : int;
+  alphabet_size : int;
+  seqs : Sequence.t array;
+  probes : Sequence.t array;
+  cluseq_cfg : Cluseq.config;
+}
+
+type failure = {
+  f_index : int;
+  f_replay_seed : int;
+  f_messages : string list;
+  f_case : case;
+}
+
+let gen_case ~seed =
+  let rng = Rng.create seed in
+  let alphabet_size = 2 + Rng.int rng 4 in
+  let max_depth = 1 + Rng.int rng 4 in
+  let significance = 1 + Rng.int rng 5 in
+  let p_min = [| 0.0; 1e-3; 0.01 |].(Rng.int rng 3) in
+  let gen_seq max_len =
+    Array.init (Rng.int rng (max_len + 1)) (fun _ -> Rng.int rng alphabet_size)
+  in
+  let seqs = Array.init (4 + Rng.int rng 13) (fun _ -> gen_seq 24) in
+  let probes = Array.init 3 (fun _ -> gen_seq 16) in
+  let order =
+    match Rng.int rng 4 with 0 -> Order.Random | 1 -> Order.Cluster_based | _ -> Order.Fixed
+  in
+  let pruning =
+    [| Pruning.Smallest_count_first; Pruning.Longest_label_first; Pruning.Expected_vector_first |]
+      .(Rng.int rng 3)
+  in
+  let cluseq_cfg =
+    {
+      Cluseq.k_init = 1 + Rng.int rng 2;
+      significance;
+      t_init = [| 1.0; 1.05; 1.2; 2.0 |].(Rng.int rng 4);
+      max_depth;
+      (* Far above what these workloads can build: the differential
+         oracle requires that the tree never prunes. *)
+      max_nodes = 100_000;
+      p_min;
+      pruning;
+      adjust_threshold = Rng.bool rng;
+      consolidate = Rng.bool rng;
+      order;
+      sample_factor = 1 + Rng.int rng 4;
+      max_iterations = 2 + Rng.int rng 4;
+      min_residual = (if Rng.bool rng then None else Some (1 + Rng.int rng 3));
+      seed;
+    }
+  in
+  { case_seed = seed; alphabet_size; seqs; probes; cluseq_cfg }
+
+let dedup msgs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun m ->
+      if Hashtbl.mem seen m then false
+      else begin
+        Hashtbl.replace seen m ();
+        true
+      end)
+    msgs
+
+let run_case case =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let add_all prefix = List.iter (fun m -> err "%s: %s" prefix m) in
+  let cfg = case.cluseq_cfg in
+  let alphabet =
+    Alphabet.of_char_range 'a' (Char.chr (Char.code 'a' + case.alphabet_size - 1))
+  in
+  let db = Seq_database.create alphabet case.seqs in
+  let n = Seq_database.n_sequences db in
+  let lbg = Seq_database.log_background db in
+  (* --- 1. PST vs brute-force reference on an identical history --- *)
+  let pcfg : Pst.config =
+    {
+      alphabet_size = case.alphabet_size;
+      max_depth = cfg.max_depth;
+      significance = cfg.significance;
+      max_nodes = 1_000_000;
+      p_min = cfg.p_min;
+      pruning = cfg.pruning;
+    }
+  in
+  let pst = Pst.create pcfg in
+  let oracle = Ref_pst.create pcfg in
+  Array.iter
+    (fun s ->
+      Pst.insert_sequence pst s;
+      Ref_pst.insert_sequence oracle s)
+    case.seqs;
+  add_all "pst-diff" (Ref_pst.diff oracle pst);
+  add_all "pst-invariants" (Check.pst_invariants pst);
+  Array.iter
+    (fun s ->
+      for pos = 0 to Array.length s - 1 do
+        let a = Pst.log_prob pst s ~lo:0 ~pos in
+        let b = Ref_pst.log_prob oracle s ~lo:0 ~pos in
+        if not (Float.equal a b) then
+          err "log_prob at probe pos %d: tree %.17g, oracle %.17g" pos a b;
+        let la = Pst.node_label pst (Pst.prediction_node pst s ~lo:0 ~pos) in
+        let lb = Ref_pst.prediction_label oracle s ~lo:0 ~pos in
+        if la <> lb then
+          err "prediction label at probe pos %d: tree [%s], oracle [%s]" pos
+            (String.concat "," (List.map string_of_int la))
+            (String.concat "," (List.map string_of_int lb))
+      done)
+    case.probes;
+  (* Pruning must preserve the structural invariants (on a copy, so the
+     unpruned tree keeps serving the similarity checks below). *)
+  let pruned = Pst.copy pst in
+  Pst.prune_to pruned (max 1 (Pst.n_nodes pruned / 2));
+  add_all "post-prune invariants" (Check.pst_invariants pruned);
+  (* --- 2. Kadane scan vs O(l²) reference --- *)
+  Array.iter
+    (fun s ->
+      let fast = Similarity.score pst ~log_background:lbg s in
+      let brute = Similarity.score_brute pst ~log_background:lbg s in
+      if not (Float.equal fast.log_sim brute.log_sim) then
+        err "similarity: fast scan %.17g <> brute force %.17g" fast.log_sim brute.log_sim)
+    case.probes;
+  (* --- 3. audited clustering at 1 vs 4 domains --- *)
+  let saved = Par.default_domains () in
+  Fun.protect ~finally:(fun () ->
+      Check.uninstall_auditor ();
+      Par.set_default_domains saved)
+  @@ fun () ->
+  Check.install_auditor ();
+  let run_at d =
+    Par.set_default_domains d;
+    try Ok (Cluseq.run ~config:cfg db) with Check.Violation msgs -> Error msgs
+  in
+  let r1 = run_at 1 in
+  let r4 = run_at 4 in
+  (match (r1, r4) with
+  | Error msgs, _ -> add_all "auditor@1" msgs
+  | _, Error msgs -> add_all "auditor@4" msgs
+  | Ok r1, Ok r4 ->
+      add_all "result" (Check.result_invariants ~n r1);
+      if r1.clusters <> r4.clusters then err "clusters differ between 1 and 4 domains";
+      if r1.assignments <> r4.assignments then err "assignments differ between 1 and 4 domains";
+      if r1.best <> r4.best then err "best scores differ between 1 and 4 domains";
+      if r1.outliers <> r4.outliers then err "outliers differ between 1 and 4 domains";
+      if r1.final_t <> r4.final_t then
+        err "final_t %.17g (1 domain) <> %.17g (4 domains)" r1.final_t r4.final_t;
+      if r1.iterations <> r4.iterations then
+        err "iterations %d (1 domain) <> %d (4 domains)" r1.iterations r4.iterations;
+      (* Timings are wall-clock and excluded; everything else must agree. *)
+      let strip =
+        List.map (fun (st : Cluseq.iteration_stats) ->
+            ( st.iteration, st.new_clusters, st.consolidated, st.clusters, st.unclustered,
+              st.threshold, st.membership_changes ))
+      in
+      if strip r1.history <> strip r4.history then
+        err "iteration history differs between 1 and 4 domains";
+      if Array.map fst r1.models <> Array.map fst r4.models then
+        err "model ids differ between 1 and 4 domains"
+      else
+        Array.iteri
+          (fun i (id, m1) ->
+            if not (Pst.equal_structure m1 (snd r4.models.(i))) then
+              err "model %d structure differs between 1 and 4 domains" id)
+          r1.models;
+      Array.iter
+        (fun (id, m) ->
+          let m' = Pst.of_string (Pst.to_string m) in
+          if not (Pst.equal_structure m m') then
+            err "model %d changes across a serialization round-trip" id)
+        r1.models;
+      (* --- 4. classification at 1 vs 4 domains --- *)
+      if r1.n_clusters > 0 && Array.length case.probes > 0 then begin
+        let probes_db = Seq_database.create alphabet case.probes in
+        let clf = Classifier.of_result r1 db in
+        Par.set_default_domains 1;
+        let v1 = Classifier.classify_all clf probes_db in
+        Par.set_default_domains 4;
+        let v4 = Classifier.classify_all clf probes_db in
+        if v1 <> v4 then err "classifier verdicts differ between 1 and 4 domains";
+        Array.iteri
+          (fun i v ->
+            if Classifier.classify clf (Seq_database.get probes_db i) <> v then
+              err "classify and classify_all disagree on probe %d" i)
+          v1
+      end);
+  dedup (List.rev !errs)
+
+let drop_at arr i =
+  Array.append (Array.sub arr 0 i) (Array.sub arr (i + 1) (Array.length arr - i - 1))
+
+let shrink case ~still_fails =
+  let budget = ref 60 in
+  let try_case c =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      still_fails c
+    end
+  in
+  let current = ref case in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (* Pass 1: drop whole sequences. *)
+    let i = ref 0 in
+    while !i < Array.length !current.seqs && Array.length !current.seqs > 1 do
+      let cand = { !current with seqs = drop_at !current.seqs !i } in
+      if try_case cand then begin
+        current := cand;
+        improved := true
+        (* same index now holds the next sequence *)
+      end
+      else incr i
+    done;
+    (* Pass 2: halve the surviving sequences. *)
+    for i = 0 to Array.length !current.seqs - 1 do
+      let s = !current.seqs.(i) in
+      if Array.length s > 0 then begin
+        let cand_seqs = Array.copy !current.seqs in
+        cand_seqs.(i) <- Array.sub s 0 (Array.length s / 2);
+        let cand = { !current with seqs = cand_seqs } in
+        if try_case cand then begin
+          current := cand;
+          improved := true
+        end
+      end
+    done
+  done;
+  !current
+
+let run ?(progress = ignore) ~n ~seed () =
+  let rec go i =
+    if i >= n then Ok n
+    else begin
+      let case = gen_case ~seed:(seed + i) in
+      match run_case case with
+      | [] ->
+          progress i;
+          go (i + 1)
+      | msgs ->
+          let minimized = shrink case ~still_fails:(fun c -> run_case c <> []) in
+          (* Report the minimized case's messages when it still fails
+             (it must, but be defensive about a flaky shrink). *)
+          let messages = match run_case minimized with [] -> msgs | m -> m in
+          Error { f_index = i; f_replay_seed = seed + i; f_messages = messages; f_case = minimized }
+    end
+  in
+  go 0
+
+let decode s = String.init (Array.length s) (fun i -> Char.chr (Char.code 'a' + s.(i)))
+
+let pp_failure fmt f =
+  let case = f.f_case in
+  Format.fprintf fmt "@[<v>fuzz case #%d (seed %d) failed:@," f.f_index f.f_replay_seed;
+  let total = List.length f.f_messages in
+  List.iteri
+    (fun i m -> if i < 12 then Format.fprintf fmt "  - %s@," m)
+    f.f_messages;
+  if total > 12 then Format.fprintf fmt "  … and %d more@," (total - 12);
+  Format.fprintf fmt "minimized workload (alphabet size %d, %d sequences):@," case.alphabet_size
+    (Array.length case.seqs);
+  Array.iter (fun s -> Format.fprintf fmt "  %S@," (decode s)) case.seqs;
+  Format.fprintf fmt "replay: cluseq check --fuzz 1 --seed %d@]" f.f_replay_seed

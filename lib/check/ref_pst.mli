@@ -1,0 +1,56 @@
+(** Brute-force reference implementation of the probabilistic suffix tree.
+
+    A differential oracle for {!Pst}: the same counting model — every
+    context of length [<= max_depth] with its next-symbol counters — held
+    in a flat hashtable keyed by the context label instead of a tree.
+    There is no sharing, no suffix structure, and no pruning, so the code
+    is small enough to be obviously correct; any structural or
+    probability disagreement with {!Pst} on an identical insertion
+    history points at a tree bug (or, symmetrically, at an oracle bug —
+    either way a bug).
+
+    The probability formulas are written token-for-token like their
+    {!Pst} counterparts so agreement is exact float equality, not
+    within-epsilon: both sides compute
+    [(1 - n·p_min)·raw + p_min] from the same integer counters.
+
+    Valid for comparison only while the real tree has never pruned
+    (compare {!n_contexts} against [Pst.n_nodes]); the fuzz harness
+    arranges an effectively unbounded node budget for differential
+    cases. *)
+
+type t
+(** A mutable reference model. *)
+
+val create : Pst.config -> t
+(** Same validation and semantics as {!Pst.create}. *)
+
+val insert_segment : t -> Sequence.t -> lo:int -> hi:int -> unit
+(** Mirrors {!Pst.insert_segment}: for every position [e] of the segment
+    bump the empty context and every context [s.(e-d+1) .. s.(e)],
+    [d <= max_depth], with the next symbol ([s.(e+1)] inside the
+    segment, nothing at its end). *)
+
+val insert_sequence : t -> Sequence.t -> unit
+(** Mirrors {!Pst.insert_sequence}. *)
+
+val n_contexts : t -> int
+(** Number of distinct contexts recorded, the empty context included —
+    comparable to [Pst.n_nodes] when no pruning has occurred. *)
+
+val prediction_label : t -> Sequence.t -> lo:int -> pos:int -> int list
+(** The label (original symbol order) of the prediction context for
+    position [pos]: the longest suffix of [s.(lo) .. s.(pos-1)] that is
+    recorded with a significant count, mirroring
+    {!Pst.prediction_node}'s walk. *)
+
+val log_prob : t -> Sequence.t -> lo:int -> pos:int -> float
+(** Mirrors {!Pst.log_prob}: prediction context lookup followed by the
+    smoothed conditional probability. Exact-equal to the tree's answer
+    on an identical insertion history (no pruning). *)
+
+val diff : t -> Pst.t -> string list
+(** [diff oracle pst] is a list of human-readable structural
+    disagreements: node/context count, per-label occurrence counts,
+    next-symbol counters, and contexts present on only one side.
+    Empty means the structures agree exactly. *)

@@ -61,6 +61,26 @@ let default_config =
     seed = 42;
   }
 
+(* --- runtime audit hooks (the cluseq.check subsystem) ----------------- *)
+
+type recluster_snapshot = {
+  snap_db : Seq_database.t;
+  snap_log_t : float;
+  snap_order : int array;
+  snap_before : (int * Pst.t * Bitset.t) array;
+}
+
+type auditor = {
+  on_recluster :
+    recluster_snapshot -> after:(int * Bitset.t) array -> assignments:int list array -> unit;
+  on_iteration : iteration:int -> clusters:Cluster.t list -> assignments:int list array -> unit;
+}
+
+(* A single ref deref per iteration when no auditor is installed — the
+   production path pays nothing beyond that. *)
+let auditor : auditor option ref = ref None
+let set_auditor a = auditor := a
+
 type phase_timings = {
   generation_s : float;
   reclustering_s : float;
@@ -320,6 +340,29 @@ let run ?(config = default_config) db =
       List.iter Cluster.clear_members !clusters;
       let order = Order.arrange cfg.order rng ~n ~best:!best in
       let clusters_arr = Array.of_list !clusters in
+      (* Freeze the audit snapshot before any scoring: iteration-start
+         model copies, previous memberships, the threshold, and the
+         examination order — everything a serial replay needs. *)
+      let snapshot =
+        match !auditor with
+        | None -> None
+        | Some _ ->
+            Some
+              {
+                snap_db = db;
+                snap_log_t = Threshold.log_t threshold;
+                snap_order = Array.copy order;
+                snap_before =
+                  Array.map
+                    (fun cl ->
+                      ( Cluster.id cl,
+                        Pst.copy (Cluster.pst cl),
+                        match Hashtbl.find_opt prev_members (Cluster.id cl) with
+                        | Some ms -> Bitset.copy ms
+                        | None -> Bitset.create n ))
+                    clusters_arr;
+              }
+      in
       let scores =
         Par.map_chunks (Par.get_pool ()) ~n (fun sid ->
             let s = Seq_database.get db sid in
@@ -363,6 +406,15 @@ let run ?(config = default_config) db =
             scores.(sid))
         order;
       Array.iteri (fun i l -> new_assignments.(i) <- List.rev l) new_assignments;
+      (match (!auditor, snapshot) with
+      | Some a, Some snap ->
+          a.on_recluster snap
+            ~after:
+              (Array.map
+                 (fun cl -> (Cluster.id cl, Bitset.copy (Cluster.members cl)))
+                 clusters_arr)
+            ~assignments:(Array.copy new_assignments)
+      | _ -> ());
       (new_best, new_assignments, !samples)
     in
     (* --- 3. consolidation --- *)
@@ -385,6 +437,9 @@ let run ?(config = default_config) db =
       end;
       dropped
     in
+    (match !auditor with
+    | Some a -> a.on_iteration ~iteration:iter ~clusters:!clusters ~assignments:new_assignments
+    | None -> ());
     (* --- 4. threshold adjustment --- *)
     phase 3 (fun () ->
         if cfg.adjust_threshold then Threshold.adjust threshold (Array.of_list samples));

@@ -52,6 +52,35 @@ val default_config : config
     on, fixed order, [sample_factor = 5], [max_iterations = 50],
     [seed = 42]. *)
 
+type recluster_snapshot = {
+  snap_db : Seq_database.t;  (** The database being clustered. *)
+  snap_log_t : float;  (** The log threshold the pass joined against. *)
+  snap_order : int array;  (** The examination order of this iteration. *)
+  snap_before : (int * Pst.t * Bitset.t) array;
+      (** Per cluster (in examination order of the cluster list):
+          id, a private {!Pst.copy} of its model at iteration start, and
+          its membership from the {e previous} iteration. *)
+}
+(** Everything a serial reference implementation needs to replay one
+    reclustering pass independently (see [Check.reference_recluster]). *)
+
+type auditor = {
+  on_recluster :
+    recluster_snapshot -> after:(int * Bitset.t) array -> assignments:int list array -> unit;
+      (** Called at the end of every reclustering pass with the frozen
+          inputs and the produced memberships/assignments. *)
+  on_iteration : iteration:int -> clusters:Cluster.t list -> assignments:int list array -> unit;
+      (** Called after consolidation each iteration with the surviving
+          clusters and the (stripped) assignment lists. *)
+}
+(** Correctness hooks for the [cluseq.check] subsystem. Installed hooks
+    may raise to abort the run (e.g. [Check.Violation]); when none is
+    installed the run pays a single ref read per iteration. *)
+
+val set_auditor : auditor option -> unit
+(** Install (or clear) the process-wide auditor. Not domain-safe: set it
+    before {!run}, from the same domain. *)
+
 type phase_timings = {
   generation_s : float;  (** New-cluster generation (Sec. 4.1). *)
   reclustering_s : float;  (** Sequence reclustering scan (Sec. 4.2). *)

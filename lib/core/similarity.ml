@@ -72,4 +72,11 @@ let log_of_linear t =
     invalid_arg "Similarity.log_of_linear: t must be a positive finite value";
   log t
 
-let linear_of_log lt = exp (Float.min 500.0 lt)
+let linear_of_log lt =
+  (* Clamp at 500 nats: exp 500 ≈ 1.4e217 is comfortably finite, while an
+     unclamped huge log would overflow to +inf. The empty-result sentinel
+     [neg_infinity] maps to an exact 0. up front so callers formatting or
+     comparing the linear value never meet a subnormal (exp of a large
+     negative finite stays whatever IEEE gives — only the sentinel is
+     special-cased). *)
+  if lt = neg_infinity then 0.0 else exp (Float.min 500.0 lt)

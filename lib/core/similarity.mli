@@ -43,4 +43,7 @@ val log_of_linear : float -> float
     infinities are rejected, not just non-positive values. *)
 
 val linear_of_log : float -> float
-(** Inverse of {!log_of_linear} (clamped to avoid overflow). *)
+(** Inverse of {!log_of_linear}, with the input clamped at [500.] nats so
+    the result never overflows to [infinity] ([exp 500 ≈ 1.4e217]).
+    [neg_infinity] — the {!empty_result} sentinel — returns an exact
+    [0.], never a subnormal. *)

@@ -80,12 +80,24 @@ let subtree_size n =
   let rec go n acc = Smallmap.fold (fun _ child acc -> go child acc) n.children (acc + 1) in
   go n 0
 
+(* Whether [n] is still reachable from the root: every ancestor must
+   still list the next node on the path as its child. Checking only the
+   immediate parent is not enough — a pruning pass that already removed
+   an ancestor's subtree would otherwise "remove" [n] a second time and
+   double-subtract its subtree from [n_nodes]. *)
+let rec is_attached n =
+  match n.parent with
+  | None -> true
+  | Some p ->
+      (match Smallmap.find_opt p.children n.sym with Some c -> c == n | None -> false)
+      && is_attached p
+
 (* Detach [n] from its parent and account for the removed subtree. *)
 let detach t n =
   match n.parent with
   | None -> ()
   | Some p ->
-      if Smallmap.find_idx p.children n.sym >= 0 then begin
+      if is_attached n then begin
         Smallmap.remove p.children n.sym;
         let sz = subtree_size n in
         t.n_nodes <- t.n_nodes - sz;
@@ -273,6 +285,9 @@ let find_node t label =
 let next_count n sym = Smallmap.get_int n.next sym
 let next_total n = n.next_total
 
+let node_children n =
+  List.rev (Smallmap.fold (fun sym child acc -> (sym, child) :: acc) n.children [])
+
 let next_distribution t n =
   Array.init t.cfg.alphabet_size (fun sym -> exp (next_log_prob t n sym))
 
@@ -290,32 +305,63 @@ let node_label _t n =
   let rec go n acc = match n.parent with None -> acc | Some p -> go p (n.sym :: acc) in
   List.rev (go n [])
 
+(* Deep structural copy: same counts, same Smallmap storage order, so
+   every downstream operation (scoring, pruning scans) behaves
+   bit-identically on the copy — the property the Check oracles rely on
+   when snapshotting cluster models. *)
+let copy t =
+  let rec copy_node parent n =
+    let n' =
+      { sym = n.sym; depth = n.depth; parent; count = n.count; next_total = n.next_total;
+        next = Smallmap.copy n.next; children = Smallmap.create () }
+    in
+    Smallmap.iter (fun sym child -> Smallmap.set n'.children sym (copy_node (Some n') child)) n.children;
+    n'
+  in
+  { cfg = t.cfg; root = copy_node None t.root; n_nodes = t.n_nodes; log_uniform = t.log_uniform }
+
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let format_version = 1
 
-let to_channel oc t =
+(* The writer targets an abstract string sink and the reader an abstract
+   line source, so the same (versioned) format serves channels and
+   in-memory strings alike. *)
+let write_to emit t =
   let c = t.cfg in
-  Printf.fprintf oc "pst %d\n" format_version;
-  Printf.fprintf oc "config %d %d %d %d %.17g %s\n" c.alphabet_size c.max_depth c.significance
-    c.max_nodes c.p_min (Pruning.to_string c.pruning);
+  emit (Printf.sprintf "pst %d\n" format_version);
+  emit
+    (Printf.sprintf "config %d %d %d %d %.17g %s\n" c.alphabet_size c.max_depth c.significance
+       c.max_nodes c.p_min (Pruning.to_string c.pruning));
   (* One line per node: the root-to-node edge path (reversed label),
      count, and next-symbol counters. Parents precede children in DFS
      order, so reconstruction can create nodes along the path. *)
-  let rec emit path node =
-    Printf.fprintf oc "node %s %d" (if path = [] then "-" else String.concat "," (List.rev_map string_of_int path)) node.count;
-    Smallmap.iter (fun sym cnt -> Printf.fprintf oc " %d:%d" sym cnt) node.next;
-    output_char oc '\n';
-    Smallmap.iter (fun sym child -> emit (sym :: path) child) node.children
+  let rec emit_node path node =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf
+      (Printf.sprintf "node %s %d"
+         (if path = [] then "-" else String.concat "," (List.rev_map string_of_int path))
+         node.count);
+    Smallmap.iter (fun sym cnt -> Buffer.add_string buf (Printf.sprintf " %d:%d" sym cnt)) node.next;
+    Buffer.add_char buf '\n';
+    emit (Buffer.contents buf);
+    Smallmap.iter (fun sym child -> emit_node (sym :: path) child) node.children
   in
-  emit [] t.root;
-  Printf.fprintf oc "end\n"
+  emit_node [] t.root;
+  emit "end\n"
 
-let of_channel ic =
+let to_channel oc t = write_to (output_string oc) t
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  write_to (Buffer.add_string buf) t;
+  Buffer.contents buf
+
+let read_from next_line =
   let fail msg = failwith ("Pst.of_channel: " ^ msg) in
-  let line () = try input_line ic with End_of_file -> fail "truncated" in
+  let line () = match next_line () with Some l -> l | None -> fail "truncated" in
   (match String.split_on_char ' ' (line ()) with
   | [ "pst"; v ] when int_of_string_opt v = Some format_version -> ()
   | _ -> fail "bad header or unsupported version");
@@ -376,6 +422,17 @@ let of_channel ic =
     | _ -> fail "unexpected line"
   done;
   t
+
+let of_channel ic = read_from (fun () -> try Some (input_line ic) with End_of_file -> None)
+
+let of_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  read_from (fun () ->
+      match !lines with
+      | [] -> None
+      | l :: rest ->
+          lines := rest;
+          Some l)
 
 let equal_structure a b =
   let rec eq na nb =

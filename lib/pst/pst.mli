@@ -106,6 +106,17 @@ val next_count : node -> int -> int
 val next_total : node -> int
 (** Sum of next-symbol counts at the node. *)
 
+val node_children : node -> (int * node) list
+(** [(edge symbol, child)] pairs in increasing symbol order — the walk
+    primitive of the {!module:Check}-style invariant checkers (a child's
+    label is [symbol · label(parent)]). *)
+
+val copy : t -> t
+(** [copy t] is a deep, independent copy with identical structure,
+    counts, and internal storage order: every subsequent operation
+    (scoring, pruning) behaves bit-identically on the copy. Used by the
+    correctness oracles to snapshot a model before replaying mutations. *)
+
 val next_distribution : t -> node -> float array
 (** The full smoothed probability vector at a node (length |Σ|). *)
 
@@ -137,6 +148,15 @@ val to_channel : out_channel -> t -> unit
 val of_channel : in_channel -> t
 (** [of_channel ic] reads a tree written by {!to_channel}. Raises
     [Failure] on malformed input or an unsupported version. *)
+
+val to_string : t -> string
+(** In-memory {!to_channel}: the same line-based format as a string. *)
+
+val of_string : string -> t
+(** In-memory {!of_channel}. Raises [Failure] on malformed input. Note
+    that counts are restored {e verbatim} — a tampered serialization
+    yields a structurally valid but semantically corrupt tree, which is
+    exactly what [Check.pst_invariants] exists to catch. *)
 
 val equal_structure : t -> t -> bool
 (** [equal_structure a b] iff both trees have identical configs, node

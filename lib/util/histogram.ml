@@ -42,14 +42,20 @@ let valley_on t y =
     let left, right = Stats.prefix_suffix_slopes ~x ~y in
     (* Interior buckets only, as in the paper's \hat t = max_{i=2}^{n-1}. *)
     let best = ref 1 and best_diff = ref neg_infinity in
+    let scale = ref 0.0 in
     for i = 1 to n - 2 do
       let d = Float.abs (left.(i) -. right.(i)) in
+      scale := Float.max !scale (Float.max (Float.abs left.(i)) (Float.abs right.(i)));
       if d > !best_diff then begin
         best_diff := d;
         best := i
       end
     done;
-    Some (bucket_center t !best)
+    (* A flat or exactly linear count curve turns nowhere: every interior
+       slope contrast is zero (up to float noise in the regression sums).
+       Reporting bucket 1 for such a curve would be a spurious valley, so
+       report none at all — Threshold.adjust then leaves t in place. *)
+    if !best_diff <= 1e-9 *. (1.0 +. !scale) then None else Some (bucket_center t !best)
   end
 
 let valley t = valley_on t (Array.map float_of_int t.counts)

@@ -40,7 +40,9 @@ val valley : t -> float option
     {m |b_i^l - b_i^r|} over interior buckets [1 .. n-2], where {m b_i^l}
     and {m b_i^r} are the regression slopes of the left and right portions
     of the count curve (paper Sec. 4.6). [None] when the histogram holds no
-    samples. *)
+    samples, or when the count curve has no turn at all (flat or exactly
+    linear: every interior slope contrast is zero, so any reported bucket
+    would be a spurious valley). *)
 
 val valley_log : t -> float option
 (** Like {!valley} but computed on [log(1 + count)] — the robust choice

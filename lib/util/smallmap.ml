@@ -5,6 +5,7 @@ type 'a t = {
 }
 
 let create () = { keys = [||]; vals = [||]; len = 0 }
+let copy t = { keys = Array.copy t.keys; vals = Array.copy t.vals; len = t.len }
 let length t = t.len
 
 (* Binary search over [keys.(0 .. len-1)]; returns slot or [-1]. *)

@@ -12,6 +12,10 @@ type 'a t
 val create : unit -> 'a t
 (** An empty map. *)
 
+val copy : 'a t -> 'a t
+(** [copy t] is an independent map with the same bindings (values are
+    shared, the key/value storage is not). *)
+
 val length : 'a t -> int
 (** Number of bindings. *)
 

@@ -89,14 +89,59 @@ let qcheck_tests =
       (QCheck.Test.make ~name:"valley lies within sample range" ~count:200
          QCheck.(list_of_size (Gen.int_range 12 200) (float_range (-50.0) 50.0))
          (fun ys ->
+           (* None is a legitimate answer (no turn in the curve); when a
+              valley is reported it must sit inside the sample range. *)
            let a = Array.of_list ys in
            let h = Histogram.of_samples a in
            match Histogram.valley h with
-           | None -> false
+           | None -> true
            | Some v ->
                let lo = Array.fold_left Float.min a.(0) a in
                let hi = Array.fold_left Float.max a.(0) a in
                v >= lo -. 1.0 && v <= hi +. 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"monotone curve has no valley" ~count:100
+         QCheck.(pair (int_range 1 50) (int_range 3 20))
+         (fun (slope, n_buckets) ->
+           (* Counts falling by exactly [slope] per bucket: the left and
+              right slopes are equal at every interior bucket, so there is
+              no turn and no valley to report. *)
+           let h = Histogram.create ~n_buckets ~lo:0.0 ~hi:10.0 () in
+           for b = 0 to n_buckets - 1 do
+             let x = Histogram.bucket_center h b in
+             for _ = 1 to (n_buckets - b) * slope do
+               Histogram.add h x
+             done
+           done;
+           Histogram.valley h = None));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"two-hump histogram valleys between the humps" ~count:100
+         QCheck.(pair (int_range 100 2000) (int_range 10 100))
+         (fun (low_hump, high_hump) ->
+           (* A big hump near 1, an empty middle, a small hump near 9:
+              whatever the hump sizes, the valley must land in the gap. *)
+           let samples =
+             Array.concat
+               [
+                 Array.init low_hump (fun i -> 0.5 +. (float_of_int (i mod 10) /. 10.0));
+                 Array.init high_hump (fun i -> 8.5 +. (float_of_int (i mod 10) /. 10.0));
+               ]
+           in
+           let h = Histogram.of_samples ~n_buckets:30 samples in
+           match Histogram.valley h with
+           | None -> false
+           | Some v -> v > 1.5 && v < 8.5));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"out-of-range samples clamp to edge buckets" ~count:200
+         QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.0) 1000.0))
+         (fun ys ->
+           let h = Histogram.create ~n_buckets:5 ~lo:(-10.0) ~hi:10.0 () in
+           List.iter (Histogram.add h) ys;
+           let below = List.length (List.filter (fun y -> y < -6.0) ys) in
+           let above = List.length (List.filter (fun y -> y >= 6.0) ys) in
+           Histogram.count h = List.length ys
+           && Histogram.bucket_count h 0 = below
+           && Histogram.bucket_count h 4 = above));
   ]
 
 let () =

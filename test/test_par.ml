@@ -100,37 +100,9 @@ let test_size_clamping () =
 
 (* --- pipeline determinism --------------------------------------------- *)
 
-let db_and_truth =
-  lazy
-    (let w =
-       Workload.generate
-         {
-           Workload.default_params with
-           n_sequences = 90;
-           avg_length = 100;
-           n_clusters = 3;
-           contexts_per_cluster = 120;
-           concentration = 0.15;
-           seed = 11;
-         }
-     in
-     (w.db, w.labels))
-
-let config =
-  {
-    Cluseq.default_config with
-    k_init = 2;
-    significance = 8;
-    min_residual = Some 8;
-    t_init = 1.2;
-    max_iterations = 12;
-    seed = 4;
-  }
-
-let with_domains d f =
-  let saved = Par.default_domains () in
-  Par.set_default_domains d;
-  Fun.protect ~finally:(fun () -> Par.set_default_domains saved) f
+let db_and_truth = Gen_common.small_db_and_truth
+let config = Gen_common.small_config
+let with_domains = Gen_common.with_domains
 
 let test_cluseq_identical_across_domain_counts () =
   let db, truth = Lazy.force db_and_truth in

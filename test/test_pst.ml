@@ -1,16 +1,11 @@
 (* Tests for the probabilistic suffix tree: counts, probability vectors,
    prediction-node semantics, smoothing, and pruning. *)
 
-let alpha = Alphabet.lowercase
-
-let cfg ?(max_depth = 10) ?(significance = 2) ?(max_nodes = 100000) ?(p_min = 0.0)
-    ?(pruning = Pruning.Smallest_count_first) ?(alphabet_size = 26) () : Pst.config =
-  { Pst.alphabet_size; max_depth; significance; max_nodes; p_min; pruning }
+let alpha = Gen_common.alpha
+let cfg = Gen_common.pst_cfg
 
 let build ?max_depth ?significance ?max_nodes ?p_min ?pruning texts =
-  let t = Pst.create (cfg ?max_depth ?significance ?max_nodes ?p_min ?pruning ()) in
-  List.iter (fun s -> Pst.insert_sequence t (Sequence.of_string alpha s)) texts;
-  t
+  Gen_common.build_pst ?max_depth ?significance ?max_nodes ?p_min ?pruning texts
 
 let test_empty_tree () =
   let t = Pst.create (cfg ()) in
@@ -230,7 +225,7 @@ let test_create_validation () =
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 1 60) (Gen.char_range 'a' 'd'))
+let seq_gen = Gen_common.seq_gen ~max_len:60 ()
 
 let qcheck_tests =
   [

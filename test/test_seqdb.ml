@@ -193,9 +193,117 @@ let test_io_tokens_unknown () =
       Alcotest.(check bool) "unknown token raises" true
         (try ignore (Seq_io.read_tokens ~alphabet:a path); false with Failure _ -> true))
 
+(* --- golden files: the exact on-disk bytes of each format ------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let test_golden_labeled () =
+  with_tmp (fun path ->
+      let a = Alphabet.lowercase in
+      let rows =
+        [| ("fam1", Sequence.of_string a "abcabc"); ("fam2", Sequence.of_string a "zzz") |]
+      in
+      Seq_io.write_labeled path a rows;
+      Alcotest.(check string) "golden bytes" "fam1\tabcabc\nfam2\tzzz\n" (read_file path))
+
+let test_golden_fasta () =
+  with_tmp (fun path ->
+      let a = Alphabet.lowercase in
+      (* 75 symbols force one wrap at the 70-column boundary. *)
+      let body = String.init 75 (fun i -> Char.chr (Char.code 'a' + (i mod 4))) in
+      Seq_io.write_fasta path a [| ("globin", Sequence.of_string a body) |];
+      let expected =
+        ">seq0 globin\n" ^ String.sub body 0 70 ^ "\n" ^ String.sub body 70 5 ^ "\n"
+      in
+      Alcotest.(check string) "golden bytes" expected (read_file path))
+
+let test_golden_tokens () =
+  with_tmp (fun path ->
+      let a = Alphabet.of_symbols [ "login"; "checkout" ] in
+      Seq_io.write_tokens path a [| ("buyer", [| 0; 1; 0 |]); ("idle", [||]) |];
+      Alcotest.(check string) "golden bytes" "buyer\tlogin checkout login\nidle\t\n"
+        (read_file path))
+
+(* --- malformed inputs -------------------------------------------------- *)
+
+let write_raw path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let raises_failure f = try ignore (f ()); false with Failure _ -> true
+
+let test_io_labeled_unknown_char () =
+  with_tmp (fun path ->
+      write_raw path "x\tabz\n";
+      Alcotest.(check bool) "char outside explicit alphabet raises" true
+        (raises_failure (fun () -> Seq_io.read_labeled ~alphabet:Alphabet.dna path)))
+
+let test_io_fasta_unknown_char () =
+  with_tmp (fun path ->
+      write_raw path ">seq0 x\nacgt\nqqq\n";
+      Alcotest.(check bool) "char outside explicit alphabet raises" true
+        (raises_failure (fun () -> Seq_io.read_fasta ~alphabet:Alphabet.dna path)))
+
+let test_io_fasta_ignores_preamble () =
+  (* Documented behavior: body text before any header belongs to no
+     record and is dropped rather than misattributed. *)
+  with_tmp (fun path ->
+      write_raw path "stray text\n>seq0 real\nac\n";
+      let _, rows = Seq_io.read_fasta path in
+      Alcotest.(check int) "only the headed record" 1 (Array.length rows);
+      Alcotest.(check string) "label" "real" (fst rows.(0)))
+
+let test_io_tokens_empty_file () =
+  with_tmp (fun path ->
+      write_raw path "";
+      Alcotest.(check bool) "no tokens to infer an alphabet from" true
+        (raises_failure (fun () -> Seq_io.read_tokens path)))
+
+let test_io_tokens_missing_tab () =
+  with_tmp (fun path ->
+      write_raw path "label-without-body\n";
+      Alcotest.(check bool) "missing TAB raises" true
+        (raises_failure (fun () -> Seq_io.read_tokens path)))
+
+(* --- format round-trip properties -------------------------------------- *)
+
+let io_roundtrip_tests =
+  let label_gen =
+    QCheck.(string_gen_of_size (Gen.int_range 1 8) (Gen.char_range 'a' 'z'))
+  in
+  let body_gen = QCheck.(string_gen_of_size (Gen.int_range 0 90) (Gen.char_range 'a' 'f')) in
+  let rows_gen =
+    QCheck.(list_of_size (Gen.int_range 0 6) (pair label_gen body_gen))
+  in
+  let roundtrip name write read =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name ~count:50 rows_gen (fun rows ->
+           let a = Alphabet.lowercase in
+           let rows =
+             Array.of_list (List.map (fun (l, b) -> (l, Sequence.of_string a b)) rows)
+           in
+           with_tmp (fun path ->
+               write path a rows;
+               let _, rows' = read ~alphabet:a path in
+               rows = rows')))
+  in
+  [
+    roundtrip "labeled write/read roundtrip" Seq_io.write_labeled (fun ~alphabet path ->
+        Seq_io.read_labeled ~alphabet path);
+    roundtrip "fasta write/read roundtrip" Seq_io.write_fasta (fun ~alphabet path ->
+        Seq_io.read_fasta ~alphabet path);
+    roundtrip "tokens write/read roundtrip" Seq_io.write_tokens (fun ~alphabet path ->
+        Seq_io.read_tokens ~alphabet path);
+  ]
+
 let qcheck_tests =
   let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 0 100) (Gen.char_range 'a' 'f')) in
-  [
+  io_roundtrip_tests
+  @ [
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"encode/decode roundtrip" ~count:300 seq_gen (fun s ->
            let a = Alphabet.lowercase in
@@ -253,6 +361,17 @@ let () =
           Alcotest.test_case "tokens roundtrip" `Quick test_io_tokens_roundtrip;
           Alcotest.test_case "tokens inferred" `Quick test_io_tokens_inferred;
           Alcotest.test_case "tokens unknown" `Quick test_io_tokens_unknown;
+          Alcotest.test_case "labeled unknown char" `Quick test_io_labeled_unknown_char;
+          Alcotest.test_case "fasta unknown char" `Quick test_io_fasta_unknown_char;
+          Alcotest.test_case "fasta ignores preamble" `Quick test_io_fasta_ignores_preamble;
+          Alcotest.test_case "tokens empty file" `Quick test_io_tokens_empty_file;
+          Alcotest.test_case "tokens missing tab" `Quick test_io_tokens_missing_tab;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "labeled bytes" `Quick test_golden_labeled;
+          Alcotest.test_case "fasta bytes" `Quick test_golden_fasta;
+          Alcotest.test_case "tokens bytes" `Quick test_golden_tokens;
         ] );
       ("property", qcheck_tests);
     ]

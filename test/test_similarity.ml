@@ -2,17 +2,9 @@
    equal the explicit O(l²) maximization, and the recurrence must replicate
    the paper's Table 1 mechanics. *)
 
-let alpha = Alphabet.lowercase
-
-let cfg ?(significance = 2) () : Pst.config =
-  { (Pst.default_config ~alphabet_size:26) with significance; p_min = 0.0 }
-
-let build ?significance texts =
-  let t = Pst.create (cfg ?significance ()) in
-  List.iter (fun s -> Pst.insert_sequence t (Sequence.of_string alpha s)) texts;
-  t
-
-let uniform_lbg = Array.make 26 (log (1.0 /. 26.0))
+let alpha = Gen_common.alpha
+let build ?significance texts = Gen_common.build_pst ?significance texts
+let uniform_lbg = Gen_common.uniform_lbg
 
 let test_empty_sequence () =
   let t = build [ "abab" ] in
@@ -95,9 +87,55 @@ let test_log_linear_conversion () =
      always false — it must still be rejected. *)
   rejects "NaN threshold" Float.nan;
   rejects "infinite threshold" Float.infinity;
-  rejects "negative-infinite threshold" Float.neg_infinity
+  rejects "negative-infinite threshold" Float.neg_infinity;
+  (* The documented clamp semantics, exactly. *)
+  Alcotest.(check (float 0.0)) "neg_infinity maps to an exact 0" 0.0
+    (Similarity.linear_of_log neg_infinity);
+  Alcotest.(check (float 0.0)) "clamped at 500 nats" (exp 500.0)
+    (Similarity.linear_of_log 600.0);
+  Alcotest.(check (float 0.0)) "everything past the clamp is equal"
+    (Similarity.linear_of_log 501.0)
+    (Similarity.linear_of_log 1e9)
 
-let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 1 40) (Gen.char_range 'a' 'd'))
+let test_empty_result_sentinel () =
+  (* Both scorers must return the exact sentinel on an empty sequence, and
+     the callers' linear conversion must turn it into a clean 0 (below any
+     valid threshold, t >= 1). *)
+  let t = build [ "abab" ] in
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check bool) (name ^ " log_sim is -inf") true (r.Similarity.log_sim = neg_infinity);
+      Alcotest.(check int) (name ^ " seg_lo sentinel") (-1) r.Similarity.seg_lo;
+      Alcotest.(check int) (name ^ " seg_hi sentinel") (-1) r.Similarity.seg_hi;
+      Alcotest.(check (float 0.0)) (name ^ " linear is 0") 0.0
+        (Similarity.linear_of_log r.Similarity.log_sim))
+    [
+      ("score", Similarity.score t ~log_background:uniform_lbg [||]);
+      ("score_brute", Similarity.score_brute t ~log_background:uniform_lbg [||]);
+    ]
+
+let test_empty_sequence_through_pipeline () =
+  (* Callers must treat the sentinel as "matches nothing": an empty
+     sequence in the database ends up an outlier with no assignments, and
+     the classifier returns an outlier verdict with every score empty. *)
+  let db = Seq_database.of_strings alpha [ "ababab"; "abab"; "ababab"; ""; "abab" ] in
+  let config =
+    { (Cluseq.scaled_config ~expected_cluster_size:4 ()) with k_init = 1; max_iterations = 3 }
+  in
+  let r = Cluseq.run ~config db in
+  Alcotest.(check (list int)) "empty sequence unassigned" [] r.assignments.(3);
+  Alcotest.(check bool) "empty sequence is an outlier" true (List.mem 3 r.outliers);
+  Alcotest.(check bool) "no finite best score" true (r.best.(3) = None);
+  if r.n_clusters > 0 then begin
+    let clf = Classifier.of_result r db in
+    let v = Classifier.classify clf [||] in
+    Alcotest.(check bool) "classifier calls it an outlier" true (v.Classifier.cluster = None);
+    List.iter
+      (fun (_, s) -> Alcotest.(check bool) "every score -inf" true (s = neg_infinity))
+      v.Classifier.scores
+  end
+
+let seq_gen = Gen_common.seq_gen ~max_len:40 ()
 
 let qcheck_tests =
   [
@@ -158,11 +196,7 @@ let qcheck_tests =
            r.log_sim >= !best_single -. 1e-9));
   ]
 
-let smoothed_tree texts =
-  let cfg = { (Pst.default_config ~alphabet_size:26) with significance = 2; p_min = 1e-3 } in
-  let t = Pst.create cfg in
-  List.iter (fun s -> Pst.insert_sequence t (Sequence.of_string alpha s)) texts;
-  t
+let smoothed_tree texts = Gen_common.build_pst ~significance:2 ~p_min:1e-3 texts
 
 let qcheck_tests =
   qcheck_tests
@@ -204,6 +238,9 @@ let () =
           Alcotest.test_case "matching scores higher" `Quick test_matching_scores_higher;
           Alcotest.test_case "paper Table 1" `Quick test_table1_recurrence;
           Alcotest.test_case "log/linear conversion" `Quick test_log_linear_conversion;
+          Alcotest.test_case "empty-result sentinel" `Quick test_empty_result_sentinel;
+          Alcotest.test_case "empty sequence through pipeline" `Quick
+            test_empty_sequence_through_pipeline;
         ] );
       ("property", qcheck_tests);
     ]
