@@ -18,16 +18,17 @@ bench:
 	dune exec bench/main.exe
 
 # Perf regression smoke gate: re-run a fast experiment at the baseline's
-# scale and compare against the committed BENCH_baseline.json. The
-# threshold is deliberately loose (machines differ); it exists to catch
-# order-of-magnitude regressions, not 10% jitter. --domains is pinned to
-# 1 so the timings stay comparable across machines with different core
-# counts (the comparer rejects mismatched domain counts). Refresh the
-# baseline with:
+# scale — plus the micro suite, so the similarity-kernel ns/op numbers
+# (similarity-psa-200sym etc.) are gated too — and compare against the
+# committed BENCH_baseline.json. The threshold is deliberately loose
+# (machines differ); it exists to catch order-of-magnitude regressions,
+# not 10% jitter. --domains is pinned to 1 so the timings stay
+# comparable across machines with different core counts (the comparer
+# rejects mismatched domain counts). Refresh the baseline with:
 #   dune exec bench/main.exe -- --scale 0.25 --domains 1 --record BENCH_baseline.json
 bench-smoke: build
 	@tmp=$$(mktemp -d); \
-	dune exec bench/main.exe -- table4 --scale 0.25 --domains 1 \
+	dune exec bench/main.exe -- table4 micro --scale 0.25 --domains 1 \
 	  --record $$tmp/BENCH_smoke.json >/dev/null; \
 	dune exec bench/main.exe -- compare BENCH_baseline.json \
 	  $$tmp/BENCH_smoke.json --threshold 250 --quality-threshold 5 \
@@ -52,6 +53,7 @@ check: build test fuzz bench-smoke
 	  --metrics=$$tmp/smoke.json >/dev/null 2>&1; \
 	grep -q '"pst.insertions"' $$tmp/smoke.json \
 	  && grep -q '"similarity.calls"' $$tmp/smoke.json \
+	  && grep -q '"similarity.compile_seconds"' $$tmp/smoke.json \
 	  && grep -q '"cluseq.iter.reclustering_seconds"' $$tmp/smoke.json \
 	  || { echo "check: metrics smoke test FAILED ($$tmp/smoke.json)"; exit 1; }; \
 	rm -rf $$tmp; \

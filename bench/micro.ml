@@ -45,6 +45,16 @@ let tests () =
       (Staged.stage (fun () -> ignore (Pst.log_prob trained probe ~lo:0 ~pos:mid)));
     Test.make ~name:"similarity-dp-200sym"
       (Staged.stage (fun () -> ignore (Similarity.score trained ~log_background:lbg (next_seq ()))));
+    (* The compiled-automaton pair for the scan above: the same scoring
+       on a precompiled PSA (the gated kernel metric; the acceptance
+       target is >= 2x faster than similarity-dp-200sym), and the cost
+       of compiling the trained tree once. *)
+    Test.make ~name:"similarity-psa-200sym"
+      (let psa = Psa.compile trained in
+       Staged.stage (fun () ->
+           ignore (Similarity.score_psa psa ~log_background:lbg (next_seq ()))));
+    Test.make ~name:"psa-compile"
+      (Staged.stage (fun () -> ignore (Psa.compile trained)));
     Test.make ~name:"edit-distance-200x200"
       (Staged.stage (fun () -> ignore (Edit_distance.distance (next_seq ()) (next_seq ()))));
     Test.make ~name:"block-edit-200x200"

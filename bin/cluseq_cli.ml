@@ -40,10 +40,11 @@ let emit_trace () = Format.eprintf "== trace ==@\n%a@?" Obs.Trace.pp ()
 
 (* Returns the verbosity count; reports are emitted via [at_exit] so a
    subcommand needs no explicit teardown. *)
-let setup_obs verbosity metrics trace domains check =
+let setup_obs verbosity metrics trace domains check no_psa =
   let vcount = List.length verbosity in
   Obs.Logging.setup ~level:(Obs.Logging.level_of_verbosity vcount) ();
   (match domains with None -> () | Some d -> Par.set_default_domains d);
+  if no_psa then Psa.set_enabled false;
   if check then Check.install_auditor () else Check.install_from_env ();
   (match metrics with
   | None -> ()
@@ -105,7 +106,16 @@ let obs_term =
              verified; any divergence aborts the run. Slow — for debugging and CI. Also \
              enabled by $(b,CLUSEQ_CHECK=1).")
   in
-  Term.(const setup_obs $ verbosity $ metrics $ trace $ domains $ check)
+  let no_psa =
+    Arg.(
+      value & flag
+      & info [ "no-psa" ]
+          ~doc:
+            "Disable compiling cluster PSTs into flat scoring automata and score every \
+             sequence by the tree walk instead. Results are bit-identical either way; this \
+             exists for debugging and for measuring the automaton's speedup end to end.")
+  in
+  Term.(const setup_obs $ verbosity $ metrics $ trace $ domains $ check $ no_psa)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)

@@ -245,6 +245,46 @@ let recluster_matches (snap : Cluseq.recluster_snapshot) ~after ~assignments =
       assignments;
   List.rev !errs
 
+(* Compiled-vs-tree scoring oracle: the automaton must be a pure
+   representation change, so every float it produces — per-position X_i
+   profile, final log-similarity, and the maximizing segment bounds —
+   must equal the tree walk's exactly. *)
+let psa_scoring_matches pst ~log_background probes =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let psa = Psa.compile pst in
+  Array.iteri
+    (fun pi s ->
+      let xt = Similarity.xs pst ~log_background s in
+      let xc = Similarity.xs_psa psa ~log_background s in
+      Array.iteri
+        (fun i a ->
+          if not (Float.equal a xc.(i)) then
+            err "probe %d pos %d: tree X_i %.17g, compiled %.17g" pi i a xc.(i))
+        xt;
+      (* The prediction state must track the prediction node depth-wise:
+         a transition bug can keep X_i equal by luck on one tree but not
+         land on the same context. *)
+      let state = ref 0 in
+      Array.iteri
+        (fun pos sym ->
+          let want = Pst.node_depth (Pst.prediction_node pst s ~lo:0 ~pos) in
+          let got = Psa.prediction_depth psa !state in
+          if want <> got then
+            err "probe %d pos %d: prediction depth %d, automaton state depth %d" pi pos want got;
+          let n = Psa.alphabet_size psa in
+          state := (Psa.transitions psa).((!state * n) + sym))
+        s;
+      let rt = Similarity.score pst ~log_background s in
+      let rc = Similarity.score_psa psa ~log_background s in
+      if not (Float.equal rt.log_sim rc.log_sim)
+         || rt.seg_lo <> rc.seg_lo || rt.seg_hi <> rc.seg_hi
+      then
+        err "probe %d: tree score %.17g [%d,%d], compiled %.17g [%d,%d]" pi rt.log_sim
+          rt.seg_lo rt.seg_hi rc.log_sim rc.seg_lo rc.seg_hi)
+    probes;
+  List.rev !errs
+
 (* ------------------------------------------------------------------ *)
 (* Auditor wiring                                                      *)
 (* ------------------------------------------------------------------ *)

@@ -62,6 +62,17 @@ val recluster_matches :
     {!reference_recluster}; messages name each diverging cluster or
     sequence. *)
 
+val psa_scoring_matches :
+  Pst.t -> log_background:float array -> Sequence.t array -> string list
+(** Differential oracle for the compiled scoring automaton: compiles the
+    tree with {!Psa.compile} and demands {e exact} float equality of the
+    per-position X_i profiles ({!Similarity.xs} vs {!Similarity.xs_psa}),
+    identical maximizing segments and log-similarities
+    ({!Similarity.score} vs {!Similarity.score_psa}), and per-position
+    agreement of the automaton state's depth with
+    {!Pst.prediction_node}'s. Run by the fuzz harness on every case,
+    against both the unpruned and a pruned tree. *)
+
 val auditor : unit -> Cluseq.auditor
 (** An auditor running {!recluster_matches} after every reclustering
     pass and {!cluster_invariants} after every consolidation, raising

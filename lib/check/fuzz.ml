@@ -123,6 +123,10 @@ let run_case case =
       if not (Float.equal fast.log_sim brute.log_sim) then
         err "similarity: fast scan %.17g <> brute force %.17g" fast.log_sim brute.log_sim)
     case.probes;
+  (* Compiled-automaton scan vs tree walk — exact equality, on both the
+     unpruned tree and the pruned copy (pruning reshapes the active set). *)
+  add_all "psa" (Check.psa_scoring_matches pst ~log_background:lbg case.probes);
+  add_all "psa-pruned" (Check.psa_scoring_matches pruned ~log_background:lbg case.probes);
   (* --- 3. audited clustering at 1 vs 4 domains --- *)
   let saved = Par.default_domains () in
   Fun.protect ~finally:(fun () ->

@@ -1,5 +1,9 @@
 type t = {
   models : (int * Pst.t) array; (* sorted by cluster id *)
+  (* Parallel to [models]: automata compiled once at construction (the
+     models never mutate), shared read-only by the classify_all workers.
+     [None] per entry when compilation is disabled (--no-psa). *)
+  compiled : Psa.t option array;
   log_background : float array;
   log_t : float;
   alphabet : Alphabet.t option;
@@ -11,13 +15,24 @@ type verdict = {
   scores : (int * float) list;
 }
 
+(* Shared by [make] and [load]; the one place classifier state is built,
+   so corrupt persisted background vectors are rejected here too. *)
+let build ~models ~log_background ~log_t ~alphabet =
+  Similarity.validate_log_background log_background;
+  let compiled =
+    Array.map
+      (fun (_, pst) -> if Psa.enabled () then Some (Psa.compile pst) else None)
+      models
+  in
+  { models; compiled; log_background; log_t; alphabet }
+
 let make ~models ~log_background ~t_linear ?alphabet () =
   if models = [] then invalid_arg "Classifier.make: no models";
   (* [< 1.0] alone lets NaN through (NaN comparisons are false). *)
   if not (Float.is_finite t_linear && t_linear >= 1.0) then
     invalid_arg "Classifier.make: t_linear must be a finite value >= 1";
   let models = Array.of_list (List.sort compare models) in
-  { models; log_background; log_t = log t_linear; alphabet }
+  build ~models ~log_background ~log_t:(log t_linear) ~alphabet
 
 let of_result (result : Cluseq.result) db =
   make
@@ -30,9 +45,16 @@ let alphabet t = t.alphabet
 
 let classify t s =
   let scores =
-    Array.to_list t.models
-    |> List.map (fun (id, pst) ->
-           (id, (Similarity.score pst ~log_background:t.log_background s).log_sim))
+    Array.to_list
+      (Array.mapi
+         (fun i (id, pst) ->
+           let r =
+             match t.compiled.(i) with
+             | Some psa -> Similarity.score_psa psa ~log_background:t.log_background s
+             | None -> Similarity.score pst ~log_background:t.log_background s
+           in
+           (id, r.Similarity.log_sim))
+         t.models)
     |> List.sort (fun (_, a) (_, b) -> compare b a)
   in
   match scores with
@@ -120,4 +142,4 @@ let load path =
                 | None -> fail "bad model id")
             | _ -> fail "bad model line")
       in
-      { models = Array.of_list (List.sort compare models); log_background; log_t; alphabet })
+      build ~models:(Array.of_list (List.sort compare models)) ~log_background ~log_t ~alphabet)

@@ -139,6 +139,9 @@ let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
     let m = min (cfg.sample_factor * k_n) (Array.length pool) in
     let chosen = Rng.sample_without_replacement rng ~k:m ~n:(Array.length pool) in
     let samples = Array.map (fun i -> pool.(i)) chosen in
+    (* Compile the frozen models on this domain before fanning out; the
+       automata are immutable and shared read-only by the workers. *)
+    List.iter Cluster.compile clusters;
     (* Cache each sample's max similarity to the existing clusters; the
        greedy loop only adds similarities to freshly created clusters. *)
     let max_sim =
@@ -167,6 +170,7 @@ let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
             seed_seq
         in
         incr id;
+        Cluster.compile cl;
         new_clusters := cl :: !new_clusters;
         (* Update remaining samples' max similarity with the new cluster
            (read-only scores in parallel, element-wise maxima serially). *)
@@ -261,7 +265,10 @@ let run ?(config = default_config) db =
         else f ())
   in
   let n = Seq_database.n_sequences db in
+  (* Built once per database (Seq_database caches it) and validated once
+     per run — never recomputed or re-checked inside a scoring call. *)
   let lbg = Seq_database.log_background db in
+  Similarity.validate_log_background lbg;
   let rng = Rng.create cfg.seed in
   let threshold = Threshold.create ~t_init:cfg.t_init in
   let min_residual = match cfg.min_residual with Some v -> v | None -> cfg.significance in
@@ -363,6 +370,11 @@ let run ?(config = default_config) db =
                     clusters_arr;
               }
       in
+      (* One compiled scorer per (cluster, pass): clusters untouched since
+         their last compile keep the cache; any absorbed segment dropped
+         it, so this rebuilds exactly the stale ones — on this domain,
+         before the fan-out. *)
+      Array.iter Cluster.compile clusters_arr;
       let scores =
         Par.map_chunks (Par.get_pool ()) ~n (fun sid ->
             let s = Seq_database.get db sid in

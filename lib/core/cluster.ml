@@ -1,11 +1,19 @@
-type t = { id : int; pst : Pst.t; members : Bitset.t }
+type t = {
+  id : int;
+  pst : Pst.t;
+  members : Bitset.t;
+  (* One compiled automaton per frozen tree: built at pass start
+     (Cluseq compiles before each read-only fan-out), dropped whenever
+     the tree mutates. [None] means "score via the tree walk". *)
+  mutable compiled : Psa.t option;
+}
 
 let m_absorbs = Obs.Metrics.counter "cluster.absorbs"
 
 let create ~id ~capacity cfg seed =
   let pst = Pst.create cfg in
   Pst.insert_sequence pst seed;
-  { id; pst; members = Bitset.create capacity }
+  { id; pst; members = Bitset.create capacity; compiled = None }
 
 let id t = t.id
 let pst t = t.pst
@@ -14,10 +22,24 @@ let size t = Bitset.cardinal t.members
 let mem t i = Bitset.mem t.members i
 let add_member t i = Bitset.add t.members i
 let clear_members t = Bitset.clear t.members
-let similarity t ~log_background s = Similarity.score t.pst ~log_background s
+
+let compile t =
+  match t.compiled with
+  | Some _ -> ()
+  | None -> if Psa.enabled () then t.compiled <- Some (Psa.compile t.pst)
+
+let similarity t ~log_background s =
+  match t.compiled with
+  | Some psa -> Similarity.score_psa psa ~log_background s
+  | None -> Similarity.score t.pst ~log_background s
 
 let absorb t ~seq_id s (r : Similarity.result) =
   Obs.Metrics.incr m_absorbs;
   add_member t seq_id;
-  if r.seg_lo >= 0 && r.seg_hi >= r.seg_lo then
-    Pst.insert_segment t.pst s ~lo:r.seg_lo ~hi:r.seg_hi
+  if r.seg_lo >= 0 && r.seg_hi >= r.seg_lo then begin
+    Pst.insert_segment t.pst s ~lo:r.seg_lo ~hi:r.seg_hi;
+    (* The tree changed (insertion, possibly pruning): the automaton is
+       stale. Scores fall back to the tree walk until the next compile —
+       which is bit-identical, so callers cannot tell which path ran. *)
+    t.compiled <- None
+  end

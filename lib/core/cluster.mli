@@ -32,8 +32,18 @@ val add_member : t -> int -> unit
 val clear_members : t -> unit
 (** Empty the member set (start of a reclustering pass); the PST is kept. *)
 
+val compile : t -> unit
+(** Build (and cache) the {!Psa.t} scoring automaton for the cluster's
+    current PST, if not already cached and {!Psa.enabled}. Called on the
+    main domain at the start of every read-only scoring sweep; any later
+    {!absorb} drops the cache, so the automaton can never go stale.
+    Idempotent and cheap when the cache is already present. *)
+
 val similarity : t -> log_background:float array -> Sequence.t -> Similarity.result
-(** {!Similarity.score} against this cluster's PST. *)
+(** {!Similarity.score} against this cluster's PST — via the compiled
+    automaton when one is cached ({!compile}), via the tree walk
+    otherwise. The two paths are bit-for-bit equal, so the choice is
+    invisible to callers. *)
 
 val absorb : t -> seq_id:int -> Sequence.t -> Similarity.result -> unit
 (** [absorb t ~seq_id s r] adds [seq_id] as a member and inserts the

@@ -12,6 +12,12 @@ type live_cluster = {
   id : int;
   pst : Pst.t;
   mutable absorbed : int;
+  (* Automaton for the current tree, [None] while stale. Emissions do not
+     fold in the background, so a cached automaton survives the lazy
+     background rebuilds; only tree mutation (feed absorption) drops it.
+     Rebuilt at mine time and on [classify] — not inside [feed], where a
+     joining stream would force a recompile per absorbed sequence. *)
+  mutable compiled : Psa.t option;
 }
 
 type stats = {
@@ -87,9 +93,22 @@ let observe_symbols t s =
   t.total_symbols <- t.total_symbols + Array.length s;
   t.background_stale <- true
 
+let refresh_compiled cl =
+  match cl.compiled with
+  | Some _ -> ()
+  | None -> if Psa.enabled () then cl.compiled <- Some (Psa.compile cl.pst)
+
 let score_against t s =
   let lbg = background t in
-  List.map (fun cl -> (cl, Similarity.score cl.pst ~log_background:lbg s)) t.clusters
+  List.map
+    (fun cl ->
+      let r =
+        match cl.compiled with
+        | Some psa -> Similarity.score_psa psa ~log_background:lbg s
+        | None -> Similarity.score cl.pst ~log_background:lbg s
+      in
+      (cl, r))
+    t.clusters
 
 (* Mining: run batch CLUSEQ over the buffered sequences; each discovered
    cluster becomes a live cluster, and its members leave the buffer. *)
@@ -128,8 +147,9 @@ let mine t =
               Pst.insert_sequence pst pending.(i);
               taken.(i) <- true)
             members;
-          t.clusters <-
-            t.clusters @ [ { id = t.next_id; pst; absorbed = Array.length members } ];
+          let cl = { id = t.next_id; pst; absorbed = Array.length members; compiled = None } in
+          refresh_compiled cl;
+          t.clusters <- t.clusters @ [ cl ];
           t.next_id <- t.next_id + 1;
           incr fresh
         end)
@@ -174,8 +194,10 @@ let feed t s =
       List.iter
         (fun (cl, (r : Similarity.result)) ->
           cl.absorbed <- cl.absorbed + 1;
-          if r.seg_lo >= 0 && r.seg_hi >= r.seg_lo then
+          if r.seg_lo >= 0 && r.seg_hi >= r.seg_lo then begin
             Pst.insert_segment cl.pst s ~lo:r.seg_lo ~hi:r.seg_hi;
+            cl.compiled <- None
+          end;
           match !best with
           | Some (_, b) when b >= r.log_sim -> ()
           | _ -> best := Some (cl.id, r.log_sim))
@@ -183,6 +205,9 @@ let feed t s =
       Option.map fst !best
 
 let classify t s =
+  (* Query path: worth an automaton per cluster (classify is typically
+     called many times between mutations; feed keeps whatever is fresh). *)
+  List.iter refresh_compiled t.clusters;
   match score_against t s with
   | [] -> None
   | scored ->

@@ -2,8 +2,24 @@ type result = { log_sim : float; seg_lo : int; seg_hi : int }
 
 let empty_result = { log_sim = neg_infinity; seg_lo = -1; seg_hi = -1 }
 
+(* Hot-loop counters are batched: published once per call (with ~by for
+   the symbol count), never from inside a scan loop — the compiled kernel
+   below must stay free of Obs traffic per symbol. *)
 let m_calls = Obs.Metrics.counter "similarity.calls"
 let m_symbols_scanned = Obs.Metrics.counter "similarity.symbols_scanned"
+
+let validate_log_background lbg =
+  Array.iteri
+    (fun sym v ->
+      (* [Float.is_finite && <= 0] rejects -inf (a zero-probability
+         symbol), NaN, and log p > 0 (p > 1) in one test. *)
+      if not (Float.is_finite v && v <= 0.0) then
+        invalid_arg
+          (Printf.sprintf
+             "Similarity: log_background.(%d) = %g — symbol %d has a zero or invalid \
+              background probability; every alphabet symbol needs p > 0"
+             sym v sym))
+    lbg
 
 (* The X_i kernel of the paper's dynamic program:
    X_i = log P_S(s_i | s_1 .. s_{i-1}) - log p(s_i). The one definition
@@ -43,6 +59,67 @@ let score pst ~log_background s =
     done;
     { log_sim = !z; seg_lo = !best_lo; seg_hi = !best_hi }
   end
+
+(* The same Kadane scan over a compiled automaton (Psa.compile of the
+   same tree): one transition + one table read per symbol, no tree walk,
+   no per-symbol [log], no allocation. The emission table stores the very
+   floats [Pst.next_log_prob] computes, and each X_i is formed with the
+   identical subtraction, so the scan is bit-for-bit equal to [score] —
+   the fuzz oracle and the qcheck properties assert exact equality. *)
+let score_psa psa ~log_background s =
+  let l = Array.length s in
+  Obs.Metrics.incr m_calls;
+  Obs.Metrics.incr ~by:l m_symbols_scanned;
+  if l = 0 then empty_result
+  else begin
+    let n = Psa.alphabet_size psa in
+    if Array.length log_background < n then
+      invalid_arg "Similarity.score_psa: log_background shorter than the alphabet";
+    let trans = Psa.transitions psa in
+    let emit = Psa.emissions psa in
+    (* Tail recursion keeps the accumulators in registers — a float [ref]
+       would box on every store. The unsafe reads are guarded by the
+       symbol range check ([state] only ever comes from [trans], whose
+       entries are states by construction). *)
+    let rec go i state y z start blo bhi =
+      if i >= l then { log_sim = z; seg_lo = blo; seg_hi = bhi }
+      else begin
+        let sym = Array.unsafe_get s i in
+        if sym < 0 || sym >= n then
+          invalid_arg "Similarity.score_psa: symbol outside the compiled alphabet";
+        let idx = (state * n) + sym in
+        let x = Array.unsafe_get emit idx -. Array.unsafe_get log_background sym in
+        let extend = y >= 0.0 in
+        let y' = if extend then y +. x else x in
+        let start' = if extend then start else i in
+        let state' = Array.unsafe_get trans idx in
+        if y' > z then go (i + 1) state' y' y' start' start' i
+        else go (i + 1) state' y' z start' blo bhi
+      end
+    in
+    go 0 0 neg_infinity neg_infinity 0 0 0
+  end
+
+(* Per-position X_i via the automaton; mirrors [xs] exactly (an explicit
+   loop because the scan threads the state left to right). *)
+let xs_psa psa ~log_background s =
+  let n = Psa.alphabet_size psa in
+  if Array.length log_background < n then
+    invalid_arg "Similarity.xs_psa: log_background shorter than the alphabet";
+  let trans = Psa.transitions psa in
+  let emit = Psa.emissions psa in
+  let l = Array.length s in
+  let x = Array.make l 0.0 in
+  let state = ref 0 in
+  for i = 0 to l - 1 do
+    let sym = s.(i) in
+    if sym < 0 || sym >= n then
+      invalid_arg "Similarity.xs_psa: symbol outside the compiled alphabet";
+    let idx = (!state * n) + sym in
+    x.(i) <- Array.unsafe_get emit idx -. Array.unsafe_get log_background sym;
+    state := Array.unsafe_get trans idx
+  done;
+  x
 
 let score_brute pst ~log_background s =
   let l = Array.length s in

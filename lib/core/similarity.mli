@@ -26,6 +26,26 @@ val score : Pst.t -> log_background:float array -> Sequence.t -> result
     {m \log p(s)} vector ({!Seq_database.log_background}). O(l · L) where
     L is the PST's max context depth. *)
 
+val score_psa : Psa.t -> log_background:float array -> Sequence.t -> result
+(** [score_psa psa ~log_background s]: the same measure over a compiled
+    automaton ({!Psa.compile} of the same tree) — a single O(l) pass,
+    one transition and one table read per symbol, no allocation and no
+    per-symbol [log]. Bit-for-bit equal to {!score} on the tree the
+    automaton was compiled from (exact float equality; enforced by the
+    property tests and the fuzz oracle). Raises [Invalid_argument] on a
+    symbol outside the compiled alphabet. *)
+
+val xs_psa : Psa.t -> log_background:float array -> Sequence.t -> float array
+(** The per-position {m X_i} profile via the automaton; bit-for-bit equal
+    to {!xs} on the source tree. *)
+
+val validate_log_background : float array -> unit
+(** Rejects (with [Invalid_argument]) any entry that is not a finite
+    [log p <= 0] — i.e. zero-probability, NaN, or [p > 1] background
+    symbols, which would otherwise silently poison every score. Called
+    once per run / classifier build, where the background vector enters
+    the engine — never per scoring call. *)
+
 val score_brute : Pst.t -> log_background:float array -> Sequence.t -> result
 (** Reference implementation: explicitly maximizes over all O(l²) segments.
     Exposed for property tests; do not use on long sequences. *)

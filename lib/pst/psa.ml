@@ -1,0 +1,149 @@
+(* Compiling a frozen PST into a flat probabilistic suffix automaton.
+
+   The tree's *active* nodes — the root plus every node whose whole root
+   path has count >= significance — are exactly the nodes
+   Pst.prediction_node can return: the greedy walk descends only into
+   significant children, and since a node's tree ancestors are the
+   shorter suffixes of its context (each PST edge prepends one *older*
+   symbol), "reachable by the walk" = "every ancestor significant".
+   The prediction for a history h is therefore the longest active
+   suffix of h, capped at max_depth.
+
+   Tracking "longest suffix of the input that belongs to a given string
+   set" online is the Aho–Corasick problem. We build the AC automaton
+   of the active labels written oldest-symbol-first: trie edges append
+   one *newer* symbol, so reading the input left to right walks the
+   trie, and the trie's inherent prefix-closure supplies precisely the
+   extra states needed when the active set is not closed under dropping
+   the newest symbol. That closure matters: on a *pruned* tree, a
+   context w may be gone while its extension w·a survives (w lives in a
+   different subtree than w·a, so subtree pruning can remove one
+   without the other), and then the prediction depth jumps by more than
+   one — a state per active node with a parent-recursion transition
+   table gets this wrong, which is exactly what the fuzz oracle caught.
+   On a never-pruned tree counts are monotone (every occurrence of w·a
+   ending at position e contains an occurrence of w ending at e-1), the
+   closure adds nothing, and states = active nodes.
+
+   Failure links and the dense transition table come from the standard
+   BFS (fail(child of u via a) = trans(fail u, a); trans(u, a) = child
+   or trans(fail u, a)). Each state's *prediction node* is the deepest
+   active suffix of its label — its own tree node when the label is an
+   active context, else the failure chain's prediction (any active
+   proper suffix is itself a trie node, hence a suffix of the failure
+   target's label). Emissions are then precomputed with
+   Pst.next_log_prob itself, so the stored floats are bit-equal to what
+   the tree walk computes at score time. *)
+
+let m_compilations = Obs.Metrics.counter "pst.compilations"
+let m_compiled_states = Obs.Metrics.counter "pst.compiled_states"
+let h_compile_seconds = Obs.Metrics.histogram "similarity.compile_seconds"
+
+type t = {
+  alphabet_size : int;
+  n_states : int;
+  trans : int array; (* state * n + sym -> next state *)
+  emit : float array; (* state * n + sym -> log P(sym | prediction ctx) *)
+  pred_depth : int array; (* state -> depth of its prediction node *)
+}
+
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let alphabet_size t = t.alphabet_size
+let n_states t = t.n_states
+let transitions t = t.trans
+let emissions t = t.emit
+let prediction_depth t i = t.pred_depth.(i)
+
+let compile pst =
+  let t0 = if Obs.Metrics.is_enabled () then Timer.now_ns () else 0L in
+  let cfg = Pst.config pst in
+  let n = cfg.Pst.alphabet_size in
+  let sigma = cfg.Pst.significance in
+  (* --- 1. trie of active labels, oldest symbol first (growable) --- *)
+  let cap = ref 64 in
+  let children = ref (Array.make (!cap * n) (-1)) in
+  let anode = ref (Array.make !cap None) in
+  let count = ref 1 in
+  let grow () =
+    let cap' = 2 * !cap in
+    let c' = Array.make (cap' * n) (-1) in
+    Array.blit !children 0 c' 0 (!cap * n);
+    children := c';
+    let a' = Array.make cap' None in
+    Array.blit !anode 0 a' 0 !cap;
+    anode := a';
+    cap := cap'
+  in
+  let add_child u a =
+    let c = !children.((u * n) + a) in
+    if c >= 0 then c
+    else begin
+      if !count >= !cap then grow ();
+      let id = !count in
+      incr count;
+      !children.((u * n) + a) <- id;
+      id
+    end
+  in
+  (* DFS over active tree nodes. [path] holds the PST edge symbols with
+     the most recent edge at the head; PST edges prepend older symbols,
+     so the head is the *oldest* context symbol — the trie consumes the
+     list front to back. *)
+  let rec dfs node path =
+    let u = List.fold_left add_child 0 path in
+    !anode.(u) <- Some node;
+    List.iter
+      (fun (s, child) -> if Pst.node_count child >= sigma then dfs child (s :: path))
+      (Pst.node_children node)
+  in
+  dfs (Pst.root pst) [];
+  let n_states = !count in
+  let children = !children and anode = !anode in
+  (* --- 2. failure links + dense transitions, BFS (parents first) --- *)
+  let trans = Array.make (n_states * n) 0 in
+  let fail = Array.make n_states 0 in
+  let pred = Array.make n_states (Pst.root pst) in
+  (match anode.(0) with Some root -> pred.(0) <- root | None -> ());
+  let q = Queue.create () in
+  let discover c failure =
+    fail.(c) <- failure;
+    (pred.(c) <- (match anode.(c) with Some nd -> nd | None -> pred.(failure)));
+    Queue.add c q
+  in
+  for a = 0 to n - 1 do
+    let c = children.(a) in
+    if c >= 0 then begin
+      discover c 0;
+      trans.(a) <- c
+    end
+  done;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let base = u * n and fbase = fail.(u) * n in
+    for a = 0 to n - 1 do
+      let c = children.(base + a) in
+      if c >= 0 then begin
+        discover c trans.(fbase + a);
+        trans.(base + a) <- c
+      end
+      else trans.(base + a) <- trans.(fbase + a)
+    done
+  done;
+  (* --- 3. emissions via the tree's own smoothing: bit-equal floats --- *)
+  let emit = Array.make (n_states * n) 0.0 in
+  let pred_depth = Array.make n_states 0 in
+  for u = 0 to n_states - 1 do
+    let nd = pred.(u) in
+    pred_depth.(u) <- Pst.node_depth nd;
+    let base = u * n in
+    for a = 0 to n - 1 do
+      emit.(base + a) <- Pst.next_log_prob pst nd a
+    done
+  done;
+  Obs.Metrics.incr m_compilations;
+  Obs.Metrics.incr ~by:n_states m_compiled_states;
+  if Obs.Metrics.is_enabled () then
+    Obs.Metrics.observe h_compile_seconds (Timer.span_s t0 (Timer.now_ns ()));
+  { alphabet_size = n; n_states; trans; emit; pred_depth }

@@ -1,0 +1,80 @@
+(** Compiled probabilistic suffix automaton (PSA): a frozen PST flattened
+    into dense struct-of-arrays tables for O(L) scoring.
+
+    {!Pst.log_prob} re-walks the tree from the root on every position —
+    O(depth) pointer chases through boxed {!Smallmap} nodes plus a fresh
+    smoothing computation and [log] per read. {!compile} performs that
+    work once: the prediction node for a history is its longest {e
+    active} suffix (a node whose entire root path is significant —
+    exactly what {!Pst.prediction_node}'s greedy walk returns), so the
+    automaton is the Aho–Corasick machine of the active labels written
+    oldest-symbol-first — active nodes plus the prefix-closure states a
+    pruned tree needs — with failure links resolved into a dense
+    [state × symbol → state] transition table and the smoothed
+    log-probabilities of each state's prediction node precomputed with
+    the token-identical formula of {!Pst.next_log_prob}. Scoring then
+    advances one state and reads one float per symbol, with no
+    allocation and no [log].
+
+    The compiled tables are immutable and therefore safely shared
+    read-only across [Par] domains. They snapshot the tree at compile
+    time: any later mutation of the source PST (insertion, pruning) makes
+    the automaton stale, so callers cache one automaton per frozen tree
+    and drop it on mutation (see {!Cluster.compile}).
+
+    Equality contract: for every sequence, scanning the automaton yields
+    {e bit-for-bit} the floats of the tree walk (same prediction node per
+    position, same precomputed [log]); the property tests and the fuzz
+    harness enforce exact float equality, not within-epsilon. See
+    DESIGN.md §9. *)
+
+type t
+(** An immutable compiled automaton. *)
+
+val compile : Pst.t -> t
+(** [compile pst] builds the automaton for the tree's current state in
+    O(states · |Σ|) time and space. Records the
+    [similarity.compile_seconds] histogram and the [pst.compilations] /
+    [pst.compiled_states] counters. Must be called on the main domain
+    (histograms are main-domain-only); the result may be read from any
+    domain. *)
+
+val alphabet_size : t -> int
+(** |Σ| of the source tree; symbols fed to the scan must lie in
+    [\[0, n)]. *)
+
+val n_states : t -> int
+(** Number of automaton states (reported by the [pst.compiled_states]
+    counter): exactly the active node count for a never-pruned tree;
+    pruning can add closure states for contexts whose own node was
+    removed while a longer extension survived. *)
+
+val transitions : t -> int array
+(** The dense transition table, row-major: entry [state * n + sym] is the
+    state reached after emitting [sym] — the prediction state for the
+    context extended by [sym]. Read-only; exposed for the scan kernel in
+    {!Similarity} and the microbenchmarks. *)
+
+val emissions : t -> float array
+(** The precomputed emission table, row-major: entry [state * n + sym] is
+    {!Pst.next_log_prob} of the state's tree node for [sym] — bit-equal
+    to what the tree walk would return. Background subtraction is {e not}
+    folded in, so one automaton stays valid across background-vector
+    refreshes (the streaming mode re-estimates its background). *)
+
+val prediction_depth : t -> int -> int
+(** [prediction_depth t i] is the depth (context length) of the tree
+    node state [i] predicts from — what {!Pst.node_depth} of
+    {!Pst.prediction_node} returns on the equivalent history. State [0]
+    is the root (depth 0). Exposed so tests can assert the automaton
+    tracks the tree walk exactly. *)
+
+val enabled : unit -> bool
+(** Whether call sites should compile at all (default [true]). *)
+
+val set_enabled : bool -> unit
+(** Global escape hatch, wired to the CLI's [--no-psa]: when disabled,
+    the caching call sites ({!Cluster.compile}, [Classifier], [Online])
+    skip compilation and every score falls back to the tree walk. Results
+    are identical either way — this exists for debugging and for
+    measuring the speedup end to end. *)

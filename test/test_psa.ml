@@ -1,0 +1,127 @@
+(* Tests for the compiled scoring automaton (Psa): structural units plus
+   QCheck properties asserting *exact* float equality between the
+   compiled scan and the tree walk — the bit-for-bit contract the fuzz
+   oracle (Check.psa_scoring_matches) also enforces. *)
+
+open Gen_common
+
+let seq_of s = Sequence.of_string alpha s
+
+(* --- units --- *)
+
+let test_empty_tree () =
+  let pst = build_pst [] in
+  let psa = Psa.compile pst in
+  Alcotest.(check int) "one state" 1 (Psa.n_states psa);
+  Alcotest.(check int) "alphabet" 26 (Psa.alphabet_size psa);
+  Alcotest.(check int) "root depth" 0 (Psa.prediction_depth psa 0);
+  let n = Psa.alphabet_size psa in
+  Array.iter
+    (fun q -> Alcotest.(check bool) "self-loop" true (q = 0))
+    (Psa.transitions psa);
+  Alcotest.(check int) "table size" n (Array.length (Psa.transitions psa))
+
+let test_transitions_in_range () =
+  let pst = build_pst [ "abcabcabc"; "abcbabcba"; "aaaabbbb" ] in
+  let psa = Psa.compile pst in
+  let ns = Psa.n_states psa in
+  Alcotest.(check bool) "has non-root states" true (ns > 1);
+  Array.iter
+    (fun q -> Alcotest.(check bool) "state in range" true (q >= 0 && q < ns))
+    (Psa.transitions psa);
+  Alcotest.(check int) "table shape" (ns * 26) (Array.length (Psa.transitions psa));
+  Alcotest.(check int) "emit shape" (ns * 26) (Array.length (Psa.emissions psa))
+
+let test_empty_sequence () =
+  let pst = build_pst [ "abab" ] in
+  let psa = Psa.compile pst in
+  let empty = seq_of "" in
+  let a = Similarity.score pst ~log_background:uniform_lbg empty in
+  let b = Similarity.score_psa psa ~log_background:uniform_lbg empty in
+  Alcotest.(check bool) "empty result equal" true (a = b);
+  Alcotest.(check int) "xs empty" 0
+    (Array.length (Similarity.xs_psa psa ~log_background:uniform_lbg empty))
+
+let test_symbol_out_of_alphabet () =
+  let pst = build_pst ~alphabet_size:4 [ "abab" ] in
+  let psa = Psa.compile pst in
+  let lbg = Array.make 26 (log (1.0 /. 26.0)) in
+  Alcotest.check_raises "symbol 25 vs alphabet 4"
+    (Invalid_argument "Similarity.score_psa: symbol outside the compiled alphabet")
+    (fun () -> ignore (Similarity.score_psa psa ~log_background:lbg (seq_of "abz")))
+
+let test_validate_log_background () =
+  Similarity.validate_log_background uniform_lbg;
+  Similarity.validate_log_background [| 0.0; -1.5 |];
+  let rejects lbg =
+    match Similarity.validate_log_background lbg with
+    | () -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  rejects [| -1.0; neg_infinity |];
+  rejects [| nan |];
+  rejects [| 0.5 |]
+
+(* --- properties: exact equality with the tree walk --- *)
+
+let exact_match pst probes =
+  List.for_all
+    (fun text ->
+      let s = seq_of text in
+      let psa = Psa.compile pst in
+      let ref_xs = Similarity.xs pst ~log_background:uniform_lbg s in
+      let got_xs = Similarity.xs_psa psa ~log_background:uniform_lbg s in
+      Array.length ref_xs = Array.length got_xs
+      && Array.for_all2 Float.equal ref_xs got_xs
+      && Similarity.score pst ~log_background:uniform_lbg s
+         = Similarity.score_psa psa ~log_background:uniform_lbg s)
+    probes
+
+let arb_texts_and_probes ?last () =
+  QCheck.pair (texts_gen ~max_seqs:4 ()) (texts_gen ~min_seqs:1 ~max_seqs:3 ?last ())
+
+let prop name ?p_min ?significance ?(last = 'd') ?(prune = false) () =
+  QCheck.Test.make ~name ~count:150
+    (arb_texts_and_probes ~last ())
+    (fun (texts, probes) ->
+      let pst = build_pst ?p_min ?significance texts in
+      if prune then Pst.prune_to pst (max 1 (Pst.n_nodes pst / 2));
+      exact_match pst probes)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest (prop "psa = tree walk (p_min = 0)" ~p_min:0.0 ());
+    QCheck_alcotest.to_alcotest (prop "psa = tree walk (p_min = 0.02)" ~p_min:0.02 ());
+    QCheck_alcotest.to_alcotest
+      (prop "psa = tree walk (significance 1, deep tree)" ~significance:1 ());
+    (* Probes over the full alphabet against a tree trained on 'a'..'d':
+       most probe symbols have no node anywhere in the tree. *)
+    QCheck_alcotest.to_alcotest (prop "psa = tree walk (absent symbols)" ~last:'z' ());
+    (* Pruning can remove a context while a longer extension survives —
+       the case that forces the automaton's closure states. *)
+    QCheck_alcotest.to_alcotest (prop "psa = tree walk (pruned tree)" ~prune:true ());
+    QCheck_alcotest.to_alcotest
+      (prop "psa = tree walk (pruned, p_min = 0.01)" ~prune:true ~p_min:0.01 ());
+    (* The fuzz oracle itself: no violations on random trees/probes. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"Check.psa_scoring_matches finds no violations" ~count:100
+         (arb_texts_and_probes ())
+         (fun (texts, probes) ->
+           let pst = build_pst texts in
+           let probes = Array.of_list (List.map seq_of probes) in
+           Check.psa_scoring_matches pst ~log_background:uniform_lbg probes = []));
+  ]
+
+let () =
+  Alcotest.run "psa"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty tree" `Quick test_empty_tree;
+          Alcotest.test_case "transitions in range" `Quick test_transitions_in_range;
+          Alcotest.test_case "empty sequence" `Quick test_empty_sequence;
+          Alcotest.test_case "symbol out of alphabet" `Quick test_symbol_out_of_alphabet;
+          Alcotest.test_case "validate_log_background" `Quick test_validate_log_background;
+        ] );
+      ("property", qcheck_tests);
+    ]

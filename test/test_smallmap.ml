@@ -92,6 +92,32 @@ let qcheck_tests =
            let sorted = Array.copy ks in
            Array.sort compare sorted;
            ks = sorted));
+    (* The binary searches (find_idx / lower_bound behind set) are only
+       correct if the key array stays strictly sorted under arbitrary
+       set/remove interleavings; check that, and that find_idx agrees
+       with a linear-scan model at every step. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"set/remove keep keys sorted; find_idx = linear scan"
+         ~count:300
+         QCheck.(list (pair bool (int_range 0 40)))
+         (fun ops ->
+           let m = Smallmap.create () in
+           List.for_all
+             (fun (is_set, k) ->
+               if is_set then Smallmap.set m k k else Smallmap.remove m k;
+               let ks = Smallmap.keys m in
+               let strictly_sorted = ref true in
+               Array.iteri
+                 (fun i k -> if i > 0 && ks.(i - 1) >= k then strictly_sorted := false)
+                 ks;
+               !strictly_sorted
+               && List.for_all
+                    (fun q ->
+                      let linear = ref (-1) in
+                      Array.iteri (fun i k -> if k = q then linear := i) ks;
+                      Smallmap.find_idx m q = !linear)
+                    (List.init 41 Fun.id))
+             ops));
   ]
 
 let () =
