@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one CI should run.
 
-.PHONY: all build test bench bench-smoke check fuzz coverage fmt clean
+.PHONY: all build test bench bench-smoke trace-smoke check fuzz coverage fmt clean
 
 all: build
 
@@ -36,6 +36,20 @@ bench-smoke: build
 	rm -rf $$tmp; \
 	echo "bench-smoke: OK"
 
+# Flight-recorder smoke gate (DESIGN.md §10): record a tiny 4-domain
+# experiment with --trace-out, then have `bench trace-validate` re-parse
+# the Chrome-trace JSON and require timeline events from at least two
+# domains — proving the per-domain rings, the exporter, and the
+# cross-domain merge all work end to end.
+trace-smoke: build
+	@tmp=$$(mktemp -d); \
+	dune exec bench/main.exe -- table4 --scale 0.25 --domains 4 \
+	  --trace-out $$tmp/trace.json >/dev/null; \
+	dune exec bench/main.exe -- trace-validate $$tmp/trace.json \
+	  || { rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "trace-smoke: OK"
+
 # Deterministic fuzz sweep over every correctness oracle (differential
 # PST, brute-force similarity, serial reclustering replay, 1-vs-4-domain
 # determinism). A failure prints a minimized workload and a replay seed.
@@ -43,9 +57,9 @@ fuzz: build
 	dune exec bin/cluseq_cli.exe -- check --fuzz 200 --seed 42
 
 # Full gate: build, unit tests, the fuzz sweep, the CLI metrics smoke
-# run (generate -> cluster --metrics -> grep), and the perf regression
-# smoke gate.
-check: build test fuzz bench-smoke
+# run (generate -> cluster --metrics -> grep), the perf regression
+# smoke gate, and the flight-recorder trace smoke gate.
+check: build test fuzz bench-smoke trace-smoke
 	@tmp=$$(mktemp -d); \
 	dune exec bin/cluseq_cli.exe -- generate --kind synthetic --num 60 --len 60 \
 	  --clusters 3 -o $$tmp/smoke.tsv >/dev/null; \

@@ -15,11 +15,21 @@
                                  [--threshold PCT] [--quality-threshold PCT]
                                               # perf regression gate
 
+     dune exec bench/main.exe -- table4 --trace-out trace.json
+                                              # Perfetto flight-recorder trace
+     dune exec bench/main.exe -- trace-validate trace.json
+                                              # sanity-check a trace file
+
    Each experiment regenerates one table or figure of the paper's
    evaluation (see DESIGN.md Sec. 4 for the experiment index and
    EXPERIMENTS.md for paper-vs-measured results). `--record` writes the
    machine-readable BENCH_*.json described in DESIGN.md §6; `compare`
-   exits 1 on a perf regression, 2 on usage or parse errors. *)
+   exits 1 on a perf regression, 2 on usage or parse errors.
+   `--trace-out` records the whole harness run with the flight
+   recorder (DESIGN.md §10) and writes a Chrome-trace-format timeline
+   loadable at https://ui.perfetto.dev; `trace-validate` re-parses
+   such a file and exits 2 unless it contains events from at least two
+   domains. *)
 
 let list_experiments () =
   Printf.printf "available experiments:\n";
@@ -91,6 +101,62 @@ let run_compare args =
   | _ -> die "usage: bench compare BASE.json NEW.json [--threshold PCT] [--quality-threshold PCT]"
 
 (* ------------------------------------------------------------------ *)
+(* trace-validate subcommand                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural sanity check of a Chrome-trace file written by
+   --trace-out: it must parse, carry events, and show work on at least
+   two distinct threads (main + ≥1 worker domain) — the property the
+   trace-smoke gate cares about. *)
+let run_trace_validate args =
+  let file =
+    match args with [ f ] -> f | _ -> die "usage: bench trace-validate TRACE.json"
+  in
+  let text =
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> die "trace-validate: %s" msg
+  in
+  let json =
+    match Bench_json.parse text with
+    | Ok j -> j
+    | Error msg -> die "trace-validate: %s: invalid JSON: %s" file msg
+  in
+  let events =
+    match json with
+    | Bench_json.Obj fields -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (Bench_json.Arr evs) -> evs
+        | _ -> die "trace-validate: %s: no traceEvents array" file)
+    | _ -> die "trace-validate: %s: top level is not an object" file
+  in
+  let field name = function
+    | Bench_json.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  let real_events =
+    (* Skip "M" metadata records: they name threads, they aren't work. *)
+    List.filter
+      (fun ev -> match field "ph" ev with Some (Bench_json.Str "M") -> false | _ -> true)
+      events
+  in
+  if real_events = [] then die "trace-validate: %s: no timeline events" file;
+  let tids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun ev -> match field "tid" ev with Some (Bench_json.Num n) -> Some n | _ -> None)
+         real_events)
+  in
+  if List.length tids < 2 then
+    die "trace-validate: %s: events on %d domain(s); expected >= 2 (run with --domains > 1)"
+      file (List.length tids);
+  Printf.printf "%s: ok (%d events across %d domains)\n" file (List.length real_events)
+    (List.length tids)
+
+(* ------------------------------------------------------------------ *)
 (* experiment driver                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -106,10 +172,12 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | "compare" :: rest -> run_compare rest
+  | "trace-validate" :: rest -> run_trace_validate rest
   | _ ->
       let scale = ref 1.0 in
       let metrics_dir = ref None in
       let record = ref None in
+      let trace_out = ref None in
       let selected = ref [] in
       let rec parse = function
         | [] -> ()
@@ -127,6 +195,10 @@ let () =
         | "--record" :: rest ->
             let file, rest = operand ~flag:"--record" rest in
             record := Some file;
+            parse rest
+        | "--trace-out" :: rest ->
+            let file, rest = operand ~flag:"--trace-out" rest in
+            trace_out := Some file;
             parse rest
         | "--scale" :: rest ->
             let v, rest = operand ~flag:"--scale" rest in
@@ -163,6 +235,12 @@ let () =
       in
       let instrumented = !metrics_dir <> None || !record <> None in
       if !record <> None then Obs.Resource.start_sampler ();
+      if !trace_out <> None then begin
+        Obs.Trace.enable ();
+        Obs.Recorder.enable ();
+        if not (Obs.Runtime_bridge.start ()) then
+          prerr_endline "warning: Runtime_events unavailable; trace will lack GC events"
+      end;
       Printf.printf "CLUSEQ benchmark harness (scale %.2f, domains %d)\n" !scale
         (Par.default_domains ());
       let total = ref 0.0 in
@@ -174,8 +252,10 @@ let () =
           Bench_util.reset_quality ();
           if instrumented then begin
             (* Fresh, enabled registry per experiment so each report
-               reflects that experiment alone. *)
-            Obs.reset ();
+               reflects that experiment alone. A live --trace-out
+               recording keeps its spans and rings: only the metrics
+               are scoped to the experiment. *)
+            if !trace_out = None then Obs.reset () else Obs.Metrics.reset ();
             Obs.Metrics.enable ();
             Obs.Resource.reset_peak ()
           end;
@@ -215,4 +295,11 @@ let () =
           in
           Bench_report.write file report;
           Printf.printf "\n[bench record written to %s]\n%!" file);
+      (match !trace_out with
+      | None -> ()
+      | Some file ->
+          ignore (Obs.Runtime_bridge.poll () : int);
+          Obs.Runtime_bridge.stop ();
+          Obs.Export.write_file file (Obs.Export.to_chrome_trace ());
+          Printf.printf "[trace written to %s (open at https://ui.perfetto.dev)]\n%!" file);
       Printf.printf "\nall experiments done in %.1fs\n" !total

@@ -38,9 +38,18 @@ let emit_metrics dest () =
 
 let emit_trace () = Format.eprintf "== trace ==@\n%a@?" Obs.Trace.pp ()
 
+let emit_chrome_trace file () =
+  (* Flush pending runtime events so GC spans reach the timeline. *)
+  ignore (Obs.Runtime_bridge.poll ());
+  Obs.Runtime_bridge.stop ();
+  try
+    Obs.Export.write_file file (Obs.Export.to_chrome_trace ());
+    Printf.eprintf "trace written to %s (open at https://ui.perfetto.dev)\n" file
+  with Sys_error msg -> Printf.eprintf "cluseq: cannot write trace: %s\n" msg
+
 (* Returns the verbosity count; reports are emitted via [at_exit] so a
    subcommand needs no explicit teardown. *)
-let setup_obs verbosity metrics trace domains check no_psa =
+let setup_obs verbosity metrics trace trace_out domains check no_psa =
   let vcount = List.length verbosity in
   Obs.Logging.setup ~level:(Obs.Logging.level_of_verbosity vcount) ();
   (match domains with None -> () | Some d -> Par.set_default_domains d);
@@ -56,6 +65,14 @@ let setup_obs verbosity metrics trace domains check no_psa =
     Obs.Trace.enable ();
     at_exit emit_trace
   end;
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      Obs.Trace.enable ();
+      Obs.Recorder.enable ();
+      if not (Obs.Runtime_bridge.start ()) then
+        Printf.eprintf "cluseq: runtime-events bridge unavailable; trace will lack GC events\n";
+      at_exit (emit_chrome_trace file));
   vcount
 
 let obs_term =
@@ -86,6 +103,17 @@ let obs_term =
             "Record a tree of timed spans (run / iteration / phase) and print it to stderr \
              on exit.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record a cross-domain flight-recorder trace and write it to $(docv) as Chrome \
+             trace-format JSON on exit (open at https://ui.perfetto.dev). The timeline \
+             merges the main-domain span tree, per-domain worker events from the scoring \
+             pool, and GC/domain-lifecycle events from the OCaml runtime.")
+  in
   let domains =
     Arg.(
       value
@@ -115,7 +143,7 @@ let obs_term =
              sequence by the tree walk instead. Results are bit-identical either way; this \
              exists for debugging and for measuring the automaton's speedup end to end.")
   in
-  Term.(const setup_obs $ verbosity $ metrics $ trace $ domains $ check $ no_psa)
+  Term.(const setup_obs $ verbosity $ metrics $ trace $ trace_out $ domains $ check $ no_psa)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -261,6 +289,10 @@ let cluster_cmd =
           Printf.printf "  iter %2d: new=%d consolidated=%d clusters=%d unclustered=%d t=%.4g changes=%d\n"
             h.iteration h.new_clusters h.consolidated h.clusters h.unclustered h.threshold
             h.membership_changes;
+          Printf.printf
+            "           scan: pairs=%d joined=%d rescores=%d wasted=%.1f%%\n"
+            h.census.pairs_scored h.census.pairs_joined h.census.dirty_rescores
+            (100.0 *. Cluseq.wasted_pair_ratio h.census);
           match h.timings with
           | None -> ()
           | Some t ->

@@ -19,6 +19,12 @@ let min_macro_seconds = 0.05
 let min_micro_ns = 10.0
 let min_words = 1e6
 
+(* Census counts are deterministic for a fixed seed (pure arithmetic,
+   no clock reads), so unlike timings they get a far tighter
+   threshold: any drift beyond rounding is a real algorithmic
+   change. *)
+let census_threshold_pct = 1.0
+
 let change_pct ~base ~candidate =
   if base = 0.0 then 0.0 else (candidate -. base) /. Float.abs base *. 100.0
 
@@ -84,6 +90,25 @@ let compare_experiment ~threshold ~quality_threshold (b : Bench_report.experimen
         else v)
       verdicts
   in
+  (* Scan census: skipped when the base predates schema v2 (all-zero
+     census) so old baselines keep comparing. *)
+  let census =
+    if b.census.pairs_scored = 0 then []
+    else
+      let count metric base candidate =
+        judge ~threshold:census_threshold_pct ~direction:Lower_better ~min_base:1.0
+          ~experiment:b.id ~metric ~base:(float_of_int base)
+          ~candidate:(float_of_int candidate)
+      in
+      [
+        count "census.pairs_scored" b.census.pairs_scored c.census.pairs_scored;
+        count "census.dirty_rescores" b.census.dirty_rescores c.census.dirty_rescores;
+        judge ~threshold:census_threshold_pct ~direction:Lower_better ~min_base:0.01
+          ~experiment:b.id ~metric:"census.wasted_pair_ratio"
+          ~base:(Bench_report.wasted_pair_ratio b.census)
+          ~candidate:(Bench_report.wasted_pair_ratio c.census);
+      ]
+  in
   let quality =
     match (b.quality, c.quality) with
     | Some (bm, bv), Some (cm, cv) when bm = cm ->
@@ -93,7 +118,7 @@ let compare_experiment ~threshold ~quality_threshold (b : Bench_report.experimen
         ]
     | _ -> []
   in
-  verdicts @ quality
+  verdicts @ census @ quality
 
 let compare_reports ?(threshold_pct = 25.0) ?(quality_threshold_pct = 2.0)
     ~(base : Bench_report.t) ~(candidate : Bench_report.t) () =

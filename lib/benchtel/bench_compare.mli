@@ -14,6 +14,11 @@
       words are skipped.
     - {b Model size} (PST nodes built): deterministic given the seed,
       so compared with the plain [threshold_pct].
+    - {b Scan census} (pairs scored, dirty rescores, wasted-pair
+      ratio; schema v2): pure counts, bit-identical for a fixed seed
+      at any domain count, so held to a tight 1% threshold — drift
+      beyond rounding is a real algorithmic change. Skipped when the
+      base report carries no census (all-zero block).
     - {b Quality} (the experiment headline, e.g. accuracy): regression
       on a {e relative} drop beyond [quality_threshold_pct]. Quality is
       seeded-deterministic, so any drop is a real behavior change; the

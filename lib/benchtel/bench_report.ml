@@ -2,7 +2,10 @@
    See bench_report.mli and DESIGN.md §6. *)
 
 let schema_name = "cluseq-bench"
-let schema_version = 1
+
+(* v2: added the reclustering scan-census block (pairs scored / joined,
+   dirty rescores, assignments changed, wasted-pair ratio). *)
+let schema_version = 2
 
 type env = {
   label : string;
@@ -13,6 +16,17 @@ type env = {
   word_size : int;
   domains : int;
 }
+
+type census = {
+  pairs_scored : int;
+  pairs_joined : int;
+  dirty_rescores : int;
+  assignments_changed : int;
+}
+
+let wasted_pair_ratio c =
+  if c.pairs_scored = 0 then 0.0
+  else float_of_int (c.pairs_scored - c.pairs_joined) /. float_of_int c.pairs_scored
 
 type experiment = {
   id : string;
@@ -27,6 +41,7 @@ type experiment = {
   peak_heap_words : int;
   pst_nodes_built : int;
   pst_est_words_built : int;
+  census : census;
   quality : (string * float) option;
 }
 
@@ -110,6 +125,13 @@ let capture ~id ~wall_s ~gc ~peak_heap_words ~quality =
     peak_heap_words;
     pst_nodes_built = counter "cluseq.pst.nodes_built";
     pst_est_words_built = counter "cluseq.pst.est_words_built";
+    census =
+      {
+        pairs_scored = counter "cluseq.scan.pairs_scored";
+        pairs_joined = counter "cluseq.scan.pairs_joined";
+        dirty_rescores = counter "cluseq.scan.dirty_rescores";
+        assignments_changed = counter "cluseq.scan.assignments_changed";
+      };
     quality;
   }
 
@@ -175,6 +197,15 @@ let experiment_to_json (e : experiment) =
           [
             ("nodes_built", num_i e.pst_nodes_built);
             ("est_words_built", num_i e.pst_est_words_built);
+          ] );
+      ( "census",
+        Obj
+          [
+            ("pairs_scored", num_i e.census.pairs_scored);
+            ("pairs_joined", num_i e.census.pairs_joined);
+            ("dirty_rescores", num_i e.census.dirty_rescores);
+            ("assignments_changed", num_i e.census.assignments_changed);
+            ("wasted_pair_ratio", Num (wasted_pair_ratio e.census));
           ] );
       ( "quality",
         match e.quality with
@@ -251,6 +282,13 @@ let experiment_of_json id json =
     peak_heap_words = get_i [ "gc"; "peak_heap_words" ] json;
     pst_nodes_built = get_i [ "pst"; "nodes_built" ] json;
     pst_est_words_built = get_i [ "pst"; "est_words_built" ] json;
+    census =
+      {
+        pairs_scored = get_i [ "census"; "pairs_scored" ] json;
+        pairs_joined = get_i [ "census"; "pairs_joined" ] json;
+        dirty_rescores = get_i [ "census"; "dirty_rescores" ] json;
+        assignments_changed = get_i [ "census"; "assignments_changed" ] json;
+      };
     quality =
       (match member "quality" json with
       | Some (Obj _ as q) -> (
@@ -281,7 +319,13 @@ let of_json json =
             | _ -> []
           in
           Ok { env; experiments; micro }
-      | Some v -> Error (Printf.sprintf "unsupported schema version %d (expected %d)" v schema_version)
+      | Some v ->
+          Error
+            (Printf.sprintf
+               "schema version %d, but this build reads version %d — regenerate the file \
+                with the current bench harness (e.g. `dune exec bench/main.exe -- --scale \
+                <s> --record <file>`)"
+               v schema_version)
       | None -> Error "missing schema version")
 
 let write path r = Obs.Export.write_file path (Bench_json.to_string (to_json r))

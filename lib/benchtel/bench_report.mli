@@ -12,7 +12,9 @@ val schema_name : string
 (** ["cluseq-bench"] — the [schema] field of every file. *)
 
 val schema_version : int
-(** Current version (1). {!of_json} rejects other versions. *)
+(** Current version (2 — v2 added the scan-census block). {!of_json}
+    rejects other versions with a message telling the caller to
+    regenerate the file. *)
 
 type env = {
   label : string;  (** Run label, conventionally the [BENCH_<label>.json] stem. *)
@@ -26,6 +28,23 @@ type env = {
           files written before the parallel engine existed, which
           comparisons treat as a wildcard. *)
 }
+
+type census = {
+  pairs_scored : int;
+      (** (sequence, cluster) similarity evaluations in reclustering,
+          summed over all iterations of all runs. *)
+  pairs_joined : int;  (** Evaluations that produced a join. *)
+  dirty_rescores : int;  (** Serial rescores against mutated clusters. *)
+  assignments_changed : int;  (** Membership changes, summed. *)
+}
+(** Scan-efficiency census (schema v2): the [cluseq.scan.*] counters of
+    one experiment. Deterministic for a fixed seed and any domain
+    count, so comparisons hold it to the tight count-metric noise
+    floor. *)
+
+val wasted_pair_ratio : census -> float
+(** [(pairs_scored - pairs_joined) / pairs_scored]; 0 when nothing was
+    scored. *)
 
 type experiment = {
   id : string;  (** Experiment id ([table2], [fig4], …). *)
@@ -43,6 +62,7 @@ type experiment = {
   peak_heap_words : int;  (** Peak major-heap words during it. *)
   pst_nodes_built : int;  (** Final PST nodes, summed over runs. *)
   pst_est_words_built : int;  (** Estimated words of those trees. *)
+  census : census;  (** Reclustering scan census (schema v2). *)
   quality : (string * float) option;
       (** The experiment's quality headline, e.g. [("accuracy", 0.82)] —
           recorded so a perf win can't silently trade away quality. *)

@@ -19,6 +19,19 @@ let m_pst_words_built = Obs.Metrics.counter "cluseq.pst.est_words_built"
 let g_pst_nodes = Obs.Metrics.gauge "cluseq.pst.nodes"
 let g_pst_words = Obs.Metrics.gauge "cluseq.pst.est_words"
 
+(* Reclustering scan census: how much of the all-pairs scan is useful
+   work. These accumulate across iterations and runs; the wasted-pair
+   gauge reflects the most recent iteration. The counts themselves are
+   maintained unconditionally (plain int arithmetic, no clock reads) so
+   per-iteration census records stay bit-identical for any domain count
+   and whether or not metrics are enabled — only the counter/gauge
+   publication below is gated. *)
+let m_pairs_scored = Obs.Metrics.counter "cluseq.scan.pairs_scored"
+let m_pairs_joined = Obs.Metrics.counter "cluseq.scan.pairs_joined"
+let m_dirty_rescores = Obs.Metrics.counter "cluseq.scan.dirty_rescores"
+let m_assignments_changed = Obs.Metrics.counter "cluseq.scan.assignments_changed"
+let g_wasted_ratio = Obs.Metrics.gauge "cluseq.scan.wasted_pair_ratio"
+
 (* The five phases of one iteration, in execution order; indexes into
    [h_phase] and the per-iteration timing array in [run]. *)
 let phase_names = [| "generation"; "reclustering"; "consolidation"; "threshold"; "convergence" |]
@@ -89,6 +102,18 @@ type phase_timings = {
   convergence_s : float;
 }
 
+type scan_census = {
+  pairs_scored : int;
+  pairs_joined : int;
+  dirty_rescores : int;
+  assignments_changed : int;
+  score_calls : (int * int) array;
+}
+
+let wasted_pair_ratio c =
+  if c.pairs_scored = 0 then 0.0
+  else float_of_int (c.pairs_scored - c.pairs_joined) /. float_of_int c.pairs_scored
+
 type iteration_stats = {
   iteration : int;
   new_clusters : int;
@@ -97,6 +122,7 @@ type iteration_stats = {
   unclustered : int;
   threshold : float;
   membership_changes : int;
+  census : scan_census;
   timings : phase_timings option;
 }
 
@@ -338,7 +364,7 @@ let run ?(config = default_config) db =
        afresh: re-inserting stable members every iteration would inflate
        counts without information, making member similarities (and then
        the threshold valley) grow without bound. *)
-    let new_best, new_assignments, samples =
+    let new_best, new_assignments, samples, census0 =
       phase 1 @@ fun () ->
       let prev_members = Hashtbl.create 16 in
       List.iter
@@ -382,7 +408,14 @@ let run ?(config = default_config) db =
       in
       let new_best = Array.make n None in
       let new_assignments = Array.make n [] in
-      let dirty = Array.make (Array.length clusters_arr) false in
+      let k = Array.length clusters_arr in
+      let dirty = Array.make k false in
+      (* Census tallies: the parallel matrix above scored every one of
+         the n×k pairs; serial rescores against dirty clusters add to
+         that. Plain int arithmetic — deterministic for any domain
+         count, maintained whether or not metrics are enabled. *)
+      let rescores = Array.make k 0 in
+      let joined = ref 0 in
       let samples = ref [] and n_samples = ref 0 in
       let log_t = Threshold.log_t threshold in
       Array.iter
@@ -392,13 +425,18 @@ let run ?(config = default_config) db =
             (fun ci snapshot ->
               let cl = clusters_arr.(ci) in
               let r : Similarity.result =
-                if dirty.(ci) then Cluster.similarity cl ~log_background:lbg s else snapshot
+                if dirty.(ci) then begin
+                  rescores.(ci) <- rescores.(ci) + 1;
+                  Cluster.similarity cl ~log_background:lbg s
+                end
+                else snapshot
               in
               if Float.is_finite r.log_sim then begin
                 samples := r.log_sim :: !samples;
                 incr n_samples
               end;
               if r.log_sim >= log_t then begin
+                incr joined;
                 let was_member =
                   match Hashtbl.find_opt prev_members (Cluster.id cl) with
                   | Some ms -> Bitset.mem ms sid
@@ -427,7 +465,18 @@ let run ?(config = default_config) db =
                  clusters_arr)
             ~assignments:(Array.copy new_assignments)
       | _ -> ());
-      (new_best, new_assignments, !samples)
+      let total_rescores = Array.fold_left ( + ) 0 rescores in
+      let census0 =
+        {
+          pairs_scored = (n * k) + total_rescores;
+          pairs_joined = !joined;
+          dirty_rescores = total_rescores;
+          assignments_changed = 0 (* filled in after the convergence test *);
+          score_calls =
+            Array.mapi (fun ci cl -> (Cluster.id cl, n + rescores.(ci))) clusters_arr;
+        }
+      in
+      (new_best, new_assignments, !samples, census0)
     in
     (* --- 3. consolidation --- *)
     let dropped =
@@ -501,10 +550,19 @@ let run ?(config = default_config) db =
     let unclustered_now =
       Array.fold_left (fun acc l -> if l = [] then acc + 1 else acc) 0 new_assignments
     in
+    let census = { census0 with assignments_changed = changes } in
+    Obs.Metrics.incr ~by:census.pairs_scored m_pairs_scored;
+    Obs.Metrics.incr ~by:census.pairs_joined m_pairs_joined;
+    Obs.Metrics.incr ~by:census.dirty_rescores m_dirty_rescores;
+    Obs.Metrics.incr ~by:changes m_assignments_changed;
+    Obs.Metrics.set g_wasted_ratio (wasted_pair_ratio census);
     Log.debug (fun m ->
-        m "iter %d: new=%d consolidated=%d clusters=%d unclustered=%d t=%.4g changes=%d"
+        m
+          "iter %d: new=%d consolidated=%d clusters=%d unclustered=%d t=%.4g changes=%d \
+           scored=%d joined=%d wasted=%.3f"
           iter (List.length fresh) dropped (List.length !clusters) unclustered_now
-          (Threshold.linear_t threshold) changes);
+          (Threshold.linear_t threshold) changes census.pairs_scored census.pairs_joined
+          (wasted_pair_ratio census));
     history :=
       {
         iteration = iter;
@@ -514,6 +572,7 @@ let run ?(config = default_config) db =
         unclustered = unclustered_now;
         threshold = Threshold.linear_t threshold;
         membership_changes = changes;
+        census;
         timings =
           (if Obs.Metrics.is_enabled () then
              Some

@@ -92,6 +92,35 @@ type phase_timings = {
     on the monotonic clock. The same durations feed the
     [cluseq.iter.<phase>_seconds] histograms of {!Obs.Metrics}. *)
 
+type scan_census = {
+  pairs_scored : int;
+      (** (sequence, cluster) similarity evaluations in this iteration's
+          reclustering pass: the full n×k parallel matrix plus serial
+          rescores against clusters whose PST absorbed a joiner. *)
+  pairs_joined : int;  (** Evaluations at or above the join threshold. *)
+  dirty_rescores : int;
+      (** Serial re-evaluations against mutated ("dirty") clusters —
+          the part of the scan the parallel matrix could not cover. *)
+  assignments_changed : int;
+      (** Sequences whose membership set changed this iteration (equals
+          [membership_changes]). *)
+  score_calls : (int * int) array;
+      (** Per cluster scored this iteration: (cluster id, similarity
+          calls against it) — [n] matrix entries plus its dirty
+          rescores. *)
+}
+(** Scan-efficiency census of one reclustering pass (DESIGN.md §10):
+    the baseline any candidate-pruning optimization must beat. Counts
+    are pure arithmetic — no clock reads — so they are bit-identical
+    for every domain count and independent of whether [Obs.Metrics] is
+    enabled. Accumulated run-wide in the [cluseq.scan.*] counters. *)
+
+val wasted_pair_ratio : scan_census -> float
+(** Fraction of scored pairs that did not produce a join:
+    [(pairs_scored - pairs_joined) / pairs_scored] (0 when nothing was
+    scored). High values mean the all-pairs scan is mostly wasted work
+    — the quantity index-first pruning (SEQR) targets. *)
+
 type iteration_stats = {
   iteration : int;  (** 1-based iteration number. *)
   new_clusters : int;  (** Clusters seeded this iteration ({m k_n}). *)
@@ -100,6 +129,7 @@ type iteration_stats = {
   unclustered : int;  (** Sequences in no cluster. *)
   threshold : float;  (** Linear [t] at iteration end. *)
   membership_changes : int;  (** Sequences whose membership set changed. *)
+  census : scan_census;  (** Scan-efficiency census of the reclustering pass. *)
   timings : phase_timings option;
       (** Per-phase wall-clock breakdown; [Some] only when
           [Obs.Metrics] was enabled during the run, so that disabled

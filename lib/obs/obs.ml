@@ -2,13 +2,22 @@
    fixed-bucket histograms), span-based tracing on the monotonic clock,
    and exporters (human summary, JSON, Prometheus text format).
 
-   Counters are [Atomic.t]: the Par worker domains score sequences
-   through instrumented read paths (Similarity.score, Pst.log_prob), so
-   counter increments must not race. Everything else (gauges,
-   histograms, tracing, registration) remains main-domain mutable state
-   — the serial-mutate side of the pipeline is the only writer.
-   Instrumented code pays one [bool ref] dereference per event while
-   disabled, so leaving call sites permanently instrumented is free. *)
+   Counters and histograms are atomic: the Par worker domains score
+   sequences through instrumented read paths (Similarity.score,
+   Pst.log_prob) and any domain owning a pool may observe latencies, so
+   neither increments nor bucket updates may race. Gauges, tracing, and
+   registration remain main-domain mutable state — the serial-mutate
+   side of the pipeline is the only writer. Instrumented code pays one
+   [bool ref] dereference per event while disabled, so leaving call
+   sites permanently instrumented is free.
+
+   The flight recorder ([Recorder]) extends visibility to the worker
+   domains themselves: each domain owns a fixed-capacity event ring
+   (begin/end/instant, interned name, monotonic timestamp) written
+   without locks; the main domain merges all rings at export time. The
+   [Runtime_bridge] interleaves GC and domain-lifecycle events from the
+   OCaml runtime into the same timeline, and [Export.to_chrome_trace]
+   renders everything as Chrome trace-format JSON for Perfetto. *)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -23,12 +32,18 @@ module Metrics = struct
   type counter = { c_name : string; c_value : int Atomic.t }
   type gauge = { g_name : string; mutable g_value : float }
 
+  (* Histograms are observable from any domain (the pool submitter in
+     [Par.run_job] may not be the main domain in tests): bucket counts
+     and the total count are atomic increments, and the float sum is a
+     CAS retry loop. Readers may see a momentarily torn (sum, count)
+     pair mid-observation; exporters only run after parallel regions
+     complete, so published snapshots are consistent. *)
   type histogram = {
     h_name : string;
     bounds : float array; (* strictly increasing bucket upper bounds *)
-    counts : int array; (* length bounds + 1; last is the +Inf bucket *)
-    mutable h_sum : float;
-    mutable h_count : int;
+    counts : int Atomic.t array; (* length bounds + 1; last is the +Inf bucket *)
+    h_sum : float Atomic.t;
+    h_count : int Atomic.t;
   }
 
   type entry = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -82,11 +97,16 @@ module Metrics = struct
             invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing"
         done;
         let h =
-          { h_name = name; bounds = Array.copy buckets; counts = Array.make (n + 1) 0;
-            h_sum = 0.0; h_count = 0 }
+          { h_name = name; bounds = Array.copy buckets;
+            counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+            h_sum = Atomic.make 0.0; h_count = Atomic.make 0 }
         in
         Hashtbl.add registry name (Histogram h);
         h
+
+  let rec atomic_add_float a v =
+    let old = Atomic.get a in
+    if not (Atomic.compare_and_set a old (old +. v)) then atomic_add_float a v
 
   let observe h v =
     if !enabled then begin
@@ -95,18 +115,53 @@ module Metrics = struct
       while !i < n && v > h.bounds.(!i) do
         i := !i + 1
       done;
-      h.counts.(!i) <- h.counts.(!i) + 1;
-      h.h_sum <- h.h_sum +. v;
-      h.h_count <- h.h_count + 1
+      ignore (Atomic.fetch_and_add h.counts.(!i) 1);
+      atomic_add_float h.h_sum v;
+      ignore (Atomic.fetch_and_add h.h_count 1)
     end
 
-  let histogram_count h = h.h_count
-  let histogram_sum h = h.h_sum
+  let histogram_count h = Atomic.get h.h_count
+  let histogram_sum h = Atomic.get h.h_sum
   let histogram_name h = h.h_name
 
   let bucket_counts h =
     let n = Array.length h.bounds in
-    Array.init (n + 1) (fun i -> ((if i = n then infinity else h.bounds.(i)), h.counts.(i)))
+    Array.init (n + 1) (fun i ->
+        ((if i = n then infinity else h.bounds.(i)), Atomic.get h.counts.(i)))
+
+  (* Quantile estimate from the bucket histogram: find the bucket holding
+     the rank-q observation and interpolate linearly inside it (lower
+     edge 0 for the first bucket). The +Inf bucket has no upper edge, so
+     a rank landing there reports the last finite bound — a documented
+     floor, not an extrapolation. *)
+  let quantile h q =
+    if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+      invalid_arg "Obs.Metrics.quantile: q must be in [0, 1]";
+    let total = histogram_count h in
+    if total = 0 then Float.nan
+    else begin
+      let n = Array.length h.bounds in
+      let rank = q *. float_of_int total in
+      let cum = ref 0.0 and i = ref 0 and res = ref h.bounds.(n - 1) and found = ref false in
+      while (not !found) && !i <= n do
+        let c = float_of_int (Atomic.get h.counts.(!i)) in
+        if (!cum +. c >= rank && c > 0.0) || !i = n then begin
+          if !i = n then res := h.bounds.(n - 1)
+          else begin
+            let lo = if !i = 0 then 0.0 else h.bounds.(!i - 1) in
+            let hi = h.bounds.(!i) in
+            let frac = if c = 0.0 then 1.0 else (rank -. !cum) /. c in
+            res := lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 frac))
+          end;
+          found := true
+        end
+        else begin
+          cum := !cum +. c;
+          i := !i + 1
+        end
+      done;
+      !res
+    end
 
   let reset () =
     Hashtbl.iter
@@ -115,9 +170,9 @@ module Metrics = struct
         | Counter c -> Atomic.set c.c_value 0
         | Gauge g -> g.g_value <- 0.0
         | Histogram h ->
-            Array.fill h.counts 0 (Array.length h.counts) 0;
-            h.h_sum <- 0.0;
-            h.h_count <- 0)
+            Array.iter (fun a -> Atomic.set a 0) h.counts;
+            Atomic.set h.h_sum 0.0;
+            Atomic.set h.h_count 0)
       registry
 
   (* Registered entries sorted by name, for the exporters. *)
@@ -156,6 +211,7 @@ module Trace = struct
 
   let name sp = sp.span_name
   let children sp = List.rev sp.rev_children
+  let start_ns sp = sp.start_ns
 
   let duration_ns sp =
     Int64.sub (if sp.stop_ns = 0L then Timer.now_ns () else sp.stop_ns) sp.start_ns
@@ -192,6 +248,269 @@ module Trace = struct
       List.iter (go (indent + 2)) (children sp)
     in
     List.iter (go 0) (roots ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: per-domain event rings                             *)
+(* ------------------------------------------------------------------ *)
+
+module Recorder = struct
+  (* Read cross-domain without synchronization, like [Metrics.enabled]:
+     enable/disable happen on the main domain outside parallel regions,
+     so workers observe a stable value while jobs run. *)
+  let enabled = ref false
+  let enable () = enabled := true
+  let disable () = enabled := false
+  let is_enabled () = !enabled
+
+  (* --- interned event names --- *)
+
+  (* Events store an integer name id so the hot path writes four ints
+     and nothing else. Interning is find-or-create under a mutex — call
+     sites intern once at module initialization, never per event. *)
+  type name = int
+
+  let intern_mutex = Mutex.create ()
+  let name_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+  let name_arr : string array ref = ref (Array.make 8 "")
+  let n_names = ref 0
+
+  let intern s =
+    Mutex.lock intern_mutex;
+    let id =
+      match Hashtbl.find_opt name_tbl s with
+      | Some id -> id
+      | None ->
+          let id = !n_names in
+          if id = Array.length !name_arr then begin
+            let bigger = Array.make (2 * id) "" in
+            Array.blit !name_arr 0 bigger 0 id;
+            name_arr := bigger
+          end;
+          !name_arr.(id) <- s;
+          Hashtbl.add name_tbl s id;
+          n_names := id + 1;
+          id
+    in
+    Mutex.unlock intern_mutex;
+    id
+
+  let name_string id = !name_arr.(id)
+
+  (* --- rings --- *)
+
+  (* Fixed-capacity ring per domain, created lazily via DLS on the
+     domain's first event. Only the owning domain writes; the main
+     domain reads after parallel regions complete (the pool joins every
+     chunk before a job returns, so reads never race live writes).
+     Capacity is a power of two so the slot index is a mask. Timestamps
+     are [Timer.now_ns] truncated to int — CLOCK_MONOTONIC ns since
+     boot fits in 62 bits for ~146 years, and an int store allocates
+     nothing, keeping the hot path allocation-free. *)
+  type ring = {
+    r_domain : int;
+    r_cap : int;
+    r_ts : int array;
+    r_kind : int array; (* 0 begin, 1 end, 2 instant *)
+    r_name : int array;
+    r_arg : int array;
+    mutable r_next : int; (* total events ever written; slot = next land (cap-1) *)
+  }
+
+  let default_capacity = 1 lsl 16
+
+  let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+  let capacity = ref default_capacity
+
+  let set_capacity n =
+    if n < 16 then invalid_arg "Obs.Recorder.set_capacity: capacity must be >= 16";
+    capacity := pow2_at_least n 16
+
+  let rings : ring list ref = ref []
+  let rings_mutex = Mutex.create ()
+
+  let make_ring () =
+    let cap = !capacity in
+    let r =
+      {
+        r_domain = (Domain.self () :> int);
+        r_cap = cap;
+        r_ts = Array.make cap 0;
+        r_kind = Array.make cap 0;
+        r_name = Array.make cap 0;
+        r_arg = Array.make cap 0;
+        r_next = 0;
+      }
+    in
+    Mutex.lock rings_mutex;
+    rings := r :: !rings;
+    Mutex.unlock rings_mutex;
+    r
+
+  let dls_key : ring Domain.DLS.key = Domain.DLS.new_key make_ring
+
+  let emit kind name arg =
+    let r = Domain.DLS.get dls_key in
+    let i = r.r_next land (r.r_cap - 1) in
+    r.r_ts.(i) <- Int64.to_int (Timer.now_ns ());
+    r.r_kind.(i) <- kind;
+    r.r_name.(i) <- name;
+    r.r_arg.(i) <- arg;
+    r.r_next <- r.r_next + 1
+
+  let begin_ ?(arg = 0) n = if !enabled then emit 0 n arg
+  let end_ n = if !enabled then emit 1 n 0
+  let instant ?(arg = 0) n = if !enabled then emit 2 n arg
+
+  let with_event ?arg n f =
+    if not !enabled then f ()
+    else begin
+      begin_ ?arg n;
+      Fun.protect ~finally:(fun () -> end_ n) f
+    end
+
+  (* --- draining (main domain, outside parallel regions) --- *)
+
+  type kind = Begin | End | Instant
+
+  type event = { domain : int; ts_ns : int64; kind : kind; ev_name : string; arg : int }
+
+  let snapshot_rings () =
+    Mutex.lock rings_mutex;
+    let rs = !rings in
+    Mutex.unlock rings_mutex;
+    rs
+
+  let dropped () =
+    List.fold_left (fun acc r -> acc + max 0 (r.r_next - r.r_cap)) 0 (snapshot_rings ())
+
+  let events () =
+    let of_ring r =
+      let live = min r.r_next r.r_cap in
+      let first = r.r_next - live in
+      List.init live (fun k ->
+          let i = (first + k) land (r.r_cap - 1) in
+          {
+            domain = r.r_domain;
+            ts_ns = Int64.of_int r.r_ts.(i);
+            kind = (match r.r_kind.(i) with 0 -> Begin | 1 -> End | _ -> Instant);
+            ev_name = name_string r.r_name.(i);
+            arg = r.r_arg.(i);
+          })
+    in
+    snapshot_rings ()
+    |> List.concat_map of_ring
+    |> List.stable_sort (fun a b ->
+           let c = Int64.compare a.ts_ns b.ts_ns in
+           if c <> 0 then c else compare a.domain b.domain)
+
+  let reset () = List.iter (fun r -> r.r_next <- 0) (snapshot_rings ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Runtime_events bridge                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Runtime_bridge = struct
+  (* Subscribes to the stdlib [Runtime_events] ring buffers and buffers
+     GC begin/end plus domain-lifecycle events for the trace exporter.
+     All callbacks run on the domain calling [poll] (the main domain),
+     so plain refs suffice. Timestamps come from the runtime's
+     CLOCK_MONOTONIC — the same clock as [Timer.now_ns] — so they
+     interleave directly with recorder events and spans. *)
+
+  type kind = Begin | End | Instant
+
+  type event = { rb_domain : int; rb_ts : int64; rb_name : string; rb_kind : kind }
+
+  let events_rev : event list ref = ref []
+  let n_events = ref 0
+  let max_events = 200_000
+  let n_dropped = ref 0
+  let cursor : Runtime_events.cursor option ref = ref None
+
+  let push e =
+    if !n_events >= max_events then incr n_dropped
+    else begin
+      events_rev := e :: !events_rev;
+      incr n_events
+    end
+
+  (* Top-level GC phases only: the runtime also emits fine-grained
+     sub-phases (minor roots, ephe sweeps, barriers) that would swamp a
+     clustering trace without adding signal at this zoom level. *)
+  let interesting (p : Runtime_events.runtime_phase) =
+    match p with
+    | EV_MINOR | EV_MAJOR | EV_MAJOR_SLICE | EV_MAJOR_GC_STW | EV_EXPLICIT_GC_FULL_MAJOR
+    | EV_EXPLICIT_GC_COMPACT | EV_EXPLICIT_GC_MAJOR ->
+        true
+    | _ -> false
+
+  let runtime_ev kind ring_id ts phase =
+    if interesting phase then
+      push
+        {
+          rb_domain = ring_id;
+          rb_ts = Runtime_events.Timestamp.to_int64 ts;
+          rb_name = "gc." ^ Runtime_events.runtime_phase_name phase;
+          rb_kind = kind;
+        }
+
+  let lifecycle_ev ring_id ts (l : Runtime_events.lifecycle) _arg =
+    push
+      {
+        rb_domain = ring_id;
+        rb_ts = Runtime_events.Timestamp.to_int64 ts;
+        rb_name = "rt." ^ Runtime_events.lifecycle_name l;
+        rb_kind = Instant;
+      }
+
+  let lost_ev ring_id n =
+    n_dropped := !n_dropped + n;
+    ignore ring_id
+
+  let callbacks =
+    lazy
+      (Runtime_events.Callbacks.create ~runtime_begin:(runtime_ev Begin)
+         ~runtime_end:(runtime_ev End) ~lifecycle:lifecycle_ev ~lost_events:lost_ev ())
+
+  let is_active () = !cursor <> None
+
+  (* [Runtime_events.start] creates a <pid>.events ring file (in
+     OCAML_RUNTIME_EVENTS_DIR or the cwd); a read-only cwd makes it
+     raise, in which case the bridge degrades to inactive rather than
+     failing the run. *)
+  let start () =
+    match !cursor with
+    | Some _ -> true
+    | None -> (
+        try
+          Runtime_events.start ();
+          cursor := Some (Runtime_events.create_cursor None);
+          true
+        with _ -> false)
+
+  let poll () =
+    match !cursor with
+    | None -> 0
+    | Some c -> Runtime_events.read_poll c (Lazy.force callbacks) None
+
+  let stop () =
+    match !cursor with
+    | None -> ()
+    | Some c ->
+        cursor := None;
+        (try Runtime_events.free_cursor c with _ -> ());
+        (try Runtime_events.pause () with _ -> ())
+
+  let events () = List.rev !events_rev
+  let dropped () = !n_dropped
+
+  let reset () =
+    events_rev := [];
+    n_events := 0;
+    n_dropped := 0
 end
 
 (* ------------------------------------------------------------------ *)
@@ -368,9 +687,14 @@ module Export = struct
         | Metrics.Histogram h ->
             comma first;
             Buffer.add_string b
-              (Printf.sprintf "\n    \"%s\": { \"count\": %d, \"sum\": %s, \"buckets\": ["
+              (Printf.sprintf
+                 "\n    \"%s\": { \"count\": %d, \"sum\": %s, \"p50\": %s, \"p95\": %s, \
+                  \"p99\": %s, \"buckets\": ["
                  (json_escape name) (Metrics.histogram_count h)
-                 (json_float (Metrics.histogram_sum h)));
+                 (json_float (Metrics.histogram_sum h))
+                 (json_float (Metrics.quantile h 0.50))
+                 (json_float (Metrics.quantile h 0.95))
+                 (json_float (Metrics.quantile h 0.99)));
             let bfirst = ref true in
             Array.iter
               (fun (le, count) ->
@@ -401,6 +725,96 @@ module Export = struct
         List.iter (emit_span sfirst) roots;
         Buffer.add_string b "]");
     Buffer.add_string b "\n}\n";
+    Buffer.contents b
+
+  (* Chrome trace-format JSON (https://ui.perfetto.dev loads it): one
+     merged timeline of the main-domain span tree (ph "X" complete
+     events), every domain ring's begin/end/instant events, and the
+     Runtime_bridge's GC/lifecycle events. All three sources timestamp
+     with CLOCK_MONOTONIC ns; we rebase to the earliest event and emit
+     microseconds, the format's unit. pid is always 0; tid is the OCaml
+     domain id, so each domain renders as its own track. *)
+  let to_chrome_trace () =
+    let rec_events = Recorder.events () in
+    let rt_events = Runtime_bridge.events () in
+    let spans = Trace.roots () in
+    let min64 a b = if Int64.compare a b <= 0 then a else b in
+    let t0 =
+      let acc = ref Int64.max_int in
+      List.iter (fun sp -> acc := min64 !acc (Trace.start_ns sp)) spans;
+      List.iter (fun (e : Recorder.event) -> acc := min64 !acc e.ts_ns) rec_events;
+      List.iter (fun (e : Runtime_bridge.event) -> acc := min64 !acc e.rb_ts) rt_events;
+      if !acc = Int64.max_int then 0L else !acc
+    in
+    let us ts = Int64.to_float (Int64.sub ts t0) /. 1e3 in
+    let b = Buffer.create 8192 in
+    Buffer.add_string b "{\"traceEvents\":[";
+    let first = ref true in
+    let comma () = if !first then first := false else Buffer.add_string b ",\n" in
+    comma ();
+    Buffer.add_string b
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"cluseq\"}}";
+    (* One thread_name metadata record per domain that appears anywhere. *)
+    let tids = Hashtbl.create 8 in
+    Hashtbl.replace tids 0 ();
+    List.iter (fun (e : Recorder.event) -> Hashtbl.replace tids e.domain ()) rec_events;
+    List.iter (fun (e : Runtime_bridge.event) -> Hashtbl.replace tids e.rb_domain ()) rt_events;
+    Hashtbl.fold (fun tid () acc -> tid :: acc) tids []
+    |> List.sort compare
+    |> List.iter (fun tid ->
+           comma ();
+           Buffer.add_string b
+             (Printf.sprintf
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+                tid
+                (if tid = 0 then "domain 0 (main)" else Printf.sprintf "domain %d" tid)));
+    let rec emit_span sp =
+      comma ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":%s,\"dur\":%s}"
+           (json_escape (Trace.name sp))
+           (json_float (us (Trace.start_ns sp)))
+           (json_float (Int64.to_float (Trace.duration_ns sp) /. 1e3)));
+      List.iter emit_span (Trace.children sp)
+    in
+    List.iter emit_span spans;
+    List.iter
+      (fun (e : Recorder.event) ->
+        comma ();
+        let common =
+          Printf.sprintf "\"name\":\"%s\",\"cat\":\"ring\",\"pid\":0,\"tid\":%d,\"ts\":%s"
+            (json_escape e.ev_name) e.domain
+            (json_float (us e.ts_ns))
+        in
+        match e.kind with
+        | Recorder.Begin ->
+            Buffer.add_string b
+              (Printf.sprintf "{%s,\"ph\":\"B\",\"args\":{\"arg\":%d}}" common e.arg)
+        | Recorder.End -> Buffer.add_string b (Printf.sprintf "{%s,\"ph\":\"E\"}" common)
+        | Recorder.Instant ->
+            Buffer.add_string b
+              (Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\",\"args\":{\"arg\":%d}}" common e.arg))
+      rec_events;
+    List.iter
+      (fun (e : Runtime_bridge.event) ->
+        comma ();
+        let common =
+          Printf.sprintf "\"name\":\"%s\",\"cat\":\"runtime\",\"pid\":0,\"tid\":%d,\"ts\":%s"
+            (json_escape e.rb_name) e.rb_domain
+            (json_float (us e.rb_ts))
+        in
+        match e.rb_kind with
+        | Runtime_bridge.Begin -> Buffer.add_string b (Printf.sprintf "{%s,\"ph\":\"B\"}" common)
+        | Runtime_bridge.End -> Buffer.add_string b (Printf.sprintf "{%s,\"ph\":\"E\"}" common)
+        | Runtime_bridge.Instant ->
+            Buffer.add_string b (Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\"}" common))
+      rt_events;
+    Buffer.add_string b "],\n\"displayTimeUnit\":\"ms\",\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"otherData\":{\"clock\":\"CLOCK_MONOTONIC\",\"ring_events_dropped\":%d,\"runtime_events_dropped\":%d}}\n"
+         (Recorder.dropped ()) (Runtime_bridge.dropped ()));
     Buffer.contents b
 
   (* Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. *)
@@ -482,8 +896,14 @@ module Export = struct
           | Metrics.Histogram h ->
               let n = Metrics.histogram_count h in
               let mean = if n = 0 then 0.0 else Metrics.histogram_sum h /. float_of_int n in
-              Format.fprintf ppf "  %-*s n=%d mean=%.6g sum=%.6g@\n" width name n mean
-                (Metrics.histogram_sum h)
+              if n = 0 then
+                Format.fprintf ppf "  %-*s n=%d mean=%.6g sum=%.6g@\n" width name n mean
+                  (Metrics.histogram_sum h)
+              else
+                Format.fprintf ppf
+                  "  %-*s n=%d mean=%.6g sum=%.6g p50=%.6g p95=%.6g p99=%.6g@\n" width name n
+                  mean (Metrics.histogram_sum h) (Metrics.quantile h 0.50)
+                  (Metrics.quantile h 0.95) (Metrics.quantile h 0.99)
           | _ -> ())
         histograms
     end;
@@ -525,4 +945,5 @@ let enable_all () =
 
 let reset () =
   Metrics.reset ();
-  Trace.reset ()
+  Trace.reset ();
+  Recorder.reset ()

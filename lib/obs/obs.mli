@@ -1,23 +1,30 @@
 (** Observability for the CLUSEQ pipeline: a process-global metrics
-    registry, span-based tracing on the monotonic clock, and exporters.
+    registry, span-based tracing on the monotonic clock, a multi-domain
+    flight recorder, and exporters.
 
-    Design constraints (see DESIGN.md §6):
+    Design constraints (see DESIGN.md §6 and §10):
 
-    - {b Counters multicore-safe, everything else single-domain.}
-      Counters are atomic because the [Par] worker domains drive
-      instrumented read paths ([Similarity.score], [Pst.log_prob]);
-      gauges, histograms, tracing, and registration are plain mutable
-      data touched only by the main (serial-mutate) domain.
-    - {b Free when disabled.} Both metrics and tracing default to
-      disabled; an instrumented call site then costs one [bool ref]
-      dereference and branch (a few ns at most), so hot paths stay
-      permanently instrumented.
+    - {b Counters and histograms multicore-safe, the rest
+      single-domain.} Counters are atomic because the [Par] worker
+      domains drive instrumented read paths ([Similarity.score],
+      [Pst.log_prob]); histogram buckets are atomic (and the float sum
+      a CAS loop) because any domain owning a pool may observe
+      latencies ([par.steal_wait_seconds]). Gauges, span tracing, and
+      registration are plain mutable data touched only by the main
+      (serial-mutate) domain. Worker domains additionally write to
+      their own {!Recorder} rings, which are per-domain by
+      construction.
+    - {b Free when disabled.} Metrics, tracing, and the recorder
+      default to disabled; an instrumented call site then costs one
+      [bool ref] dereference and branch (a few ns at most), so hot
+      paths stay permanently instrumented.
     - {b Find-or-create registration.} Instruments are registered by
       name at module-initialization time ([let c = Obs.Metrics.counter
       "pst.insertions"]) and the returned handle is used directly on
       the hot path — no per-event name lookup. Requesting the same name
       twice returns the same instrument; requesting it with a different
-      kind raises [Invalid_argument]. *)
+      kind raises [Invalid_argument]. {!Recorder.intern} follows the
+      same pattern for event names. *)
 
 (** Counters, gauges, and fixed-bucket histograms. *)
 module Metrics : sig
@@ -70,6 +77,11 @@ module Metrics : sig
       already registered. *)
 
   val observe : histogram -> float -> unit
+  (** Record one observation. Safe from any domain: bucket counts and
+      the running count are atomic increments and the sum is a
+      compare-and-set loop (unlike gauges, which remain main-domain
+      writes). *)
+
   val histogram_count : histogram -> int
   val histogram_sum : histogram -> float
   val histogram_name : histogram -> string
@@ -77,6 +89,14 @@ module Metrics : sig
   val bucket_counts : histogram -> (float * int) array
   (** Per-bucket (upper bound, count) pairs, non-cumulative; the last
       entry's bound is [infinity]. *)
+
+  val quantile : histogram -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([0 ≤ q ≤ 1]) from the
+      bucket counts by linear interpolation inside the bucket holding
+      the rank-[q] observation (first bucket's lower edge is 0).
+      Observations in the [+Inf] overflow bucket report the last finite
+      bound — a floor, not an extrapolation. [nan] on an empty
+      histogram; [Invalid_argument] if [q] is outside [\[0, 1\]]. *)
 
   val reset : unit -> unit
   (** Zero every registered instrument in place. Handles held by
@@ -110,6 +130,11 @@ module Trace : sig
   val name : span -> string
   val children : span -> span list
 
+  val start_ns : span -> int64
+  (** Absolute {!Timer.now_ns} timestamp at which the span opened —
+      the trace exporter aligns spans with recorder and runtime events
+      through it. *)
+
   val duration_ns : span -> int64
   (** Duration of the span; for a still-open span, the time elapsed so
       far. *)
@@ -133,6 +158,123 @@ module Trace : sig
 
   val pp : Format.formatter -> unit -> unit
   (** Render the span forest as an indented tree with durations. *)
+end
+
+(** Multi-domain flight recorder: a fixed-capacity event ring per
+    domain, written lock-free by the owning domain and merged by the
+    main domain at export time (DESIGN.md §10).
+
+    {b Threading model.} Each domain lazily gets its own ring
+    (domain-local storage) on its first event; only the owning domain
+    ever writes it. The read side ({!events}, {!dropped}, {!reset})
+    must run on the main domain {e outside} parallel regions — the
+    [Par] pool joins every chunk before a job returns, so this never
+    races live writers.
+
+    {b Cost model.} When disabled, {!begin_}/{!end_}/{!instant} cost
+    one [bool ref] dereference and allocate nothing. When enabled, an
+    event writes four ints (timestamp, kind, interned name id,
+    argument) into preallocated arrays — still allocation-free. When a
+    ring wraps, the oldest events are overwritten and counted in
+    {!dropped}. *)
+module Recorder : sig
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val is_enabled : unit -> bool
+  (** Recording is off by default. Toggle only from the main domain
+      outside parallel regions. *)
+
+  val set_capacity : int -> unit
+  (** Per-domain ring capacity in events, rounded up to a power of two
+      (default [65536], minimum 16). Affects rings created afterwards —
+      call before enabling, before any domain has emitted. *)
+
+  type name
+  (** An interned event name: register once at module-initialization
+      time ([let ev = Obs.Recorder.intern "par.chunk"]), then emit by
+      handle — the hot path never touches the string. *)
+
+  val intern : string -> name
+  (** Find-or-create the id for an event name (thread-safe; intended
+      for initialization time, not per event). *)
+
+  val begin_ : ?arg:int -> name -> unit
+  (** Open a duration event on the calling domain's ring. [arg] is a
+      free integer payload (chunk index, count, …) shown in the trace. *)
+
+  val end_ : name -> unit
+  (** Close the most recent open duration event of this name. Pairing
+      is by timeline order within the domain, as in the Chrome trace
+      format. *)
+
+  val instant : ?arg:int -> name -> unit
+  (** A zero-duration marker on the calling domain's ring. *)
+
+  val with_event : ?arg:int -> name -> (unit -> 'a) -> 'a
+  (** [with_event n f] wraps [f ()] in {!begin_}/{!end_} (the end event
+      is emitted even if [f] raises). Runs [f] directly when
+      disabled. *)
+
+  (** {1 Read side (main domain, between jobs)} *)
+
+  type kind = Begin | End | Instant
+
+  type event = {
+    domain : int;  (** OCaml domain id of the writer. *)
+    ts_ns : int64;  (** {!Timer.now_ns} at emission. *)
+    kind : kind;
+    ev_name : string;
+    arg : int;
+  }
+
+  val events : unit -> event list
+  (** All live events across every domain ring, merged and sorted by
+      timestamp (ties by domain id). Events overwritten by ring wrap
+      are gone — see {!dropped}. *)
+
+  val dropped : unit -> int
+  (** Total events lost to ring wrap-around since the last {!reset}. *)
+
+  val reset : unit -> unit
+  (** Empty every ring (rings themselves are kept and reused). *)
+end
+
+(** Bridge from the stdlib [Runtime_events] tracing system: buffers GC
+    begin/end (minor, major, slices, compactions) and domain-lifecycle
+    events so the exporter can interleave them with recorder rings and
+    spans — GC pauses become visible against scoring work (DESIGN.md
+    §10). Timestamps share [Timer]'s CLOCK_MONOTONIC. *)
+module Runtime_bridge : sig
+  val start : unit -> bool
+  (** Start the runtime's event ring and open a self cursor. Returns
+      [false] (bridge stays inactive) if the runtime cannot create its
+      ring file — e.g. an unwritable working directory. Idempotent. *)
+
+  val is_active : unit -> bool
+
+  val poll : unit -> int
+  (** Drain pending runtime events into the bridge buffer; returns the
+      number consumed. Call from the main domain — at phase boundaries
+      and before export. *)
+
+  val stop : unit -> unit
+  (** Free the cursor and pause runtime event collection. *)
+
+  type kind = Begin | End | Instant
+
+  type event = {
+    rb_domain : int;  (** Runtime ring id ≈ domain id. *)
+    rb_ts : int64;
+    rb_name : string;  (** ["gc.minor"], ["gc.major_slice"], ["rt.domain_spawn"], … *)
+    rb_kind : kind;
+  }
+
+  val events : unit -> event list
+  (** Buffered events, oldest first. The buffer is capped (200k
+      events); overflow is counted in {!dropped}. *)
+
+  val dropped : unit -> int
+  val reset : unit -> unit
 end
 
 (** Runtime resource profiling: span-scoped GC deltas, a peak-heap
@@ -217,8 +359,19 @@ module Export : sig
 
   val to_json : unit -> string
   (** JSON object with ["counters"], ["gauges"], ["histograms"] (count,
-      sum, per-bucket [le]/count), and — when spans were recorded —
-      ["spans"] (name, duration_ns, children). *)
+      sum, [p50]/[p95]/[p99] quantile estimates, per-bucket
+      [le]/count), and — when spans were recorded — ["spans"] (name,
+      duration_ns, children). *)
+
+  val to_chrome_trace : unit -> string
+  (** Chrome trace-format JSON (open at {:https://ui.perfetto.dev}):
+      the main-domain span tree (["X"] complete events), every
+      {!Recorder} ring's begin/end/instant events, and the
+      {!Runtime_bridge}'s GC/lifecycle events, merged onto one
+      timeline. [tid] is the OCaml domain id; timestamps are rebased to
+      the earliest event and expressed in microseconds. Callers should
+      {!Runtime_bridge.poll} first so pending runtime events are
+      included. *)
 
   val to_prometheus : unit -> string
   (** Prometheus text exposition format; metric names are sanitized
@@ -245,4 +398,4 @@ val enable_all : unit -> unit
 (** Enable both metrics and tracing. *)
 
 val reset : unit -> unit
-(** {!Metrics.reset} + {!Trace.reset}. *)
+(** {!Metrics.reset} + {!Trace.reset} + {!Recorder.reset}. *)

@@ -9,7 +9,22 @@
 
 let m_domains = Obs.Metrics.gauge "par.domains"
 let m_tasks = Obs.Metrics.counter "par.tasks"
+
+(* Histograms are multi-domain-safe since the flight-recorder PR
+   (atomic buckets, CAS sum — see obs.mli), so observing here is
+   correct even when the submitting domain is not the main domain. *)
 let h_steal_wait = Obs.Metrics.histogram "par.steal_wait_seconds"
+
+(* Utilization of the most recent parallel job: per-domain busy time
+   (chunk execution) over the job's wall time, aggregated as mean and
+   minimum. The minimum is the straggler indicator — a low value means
+   some domain spent the job mostly idle. Set by the submitter after
+   the job completes; per-domain detail goes to the recorder rings as
+   [par.chunk] begin/end events instead of a gauge per domain. *)
+let g_busy_mean = Obs.Metrics.gauge "par.domain_busy_ratio"
+let g_busy_min = Obs.Metrics.gauge "par.domain_busy_ratio_min"
+let ev_job = Obs.Recorder.intern "par.job"
+let ev_chunk = Obs.Recorder.intern "par.chunk"
 
 type t = {
   size : int;
@@ -25,13 +40,20 @@ type t = {
   mutable busy : bool; (* a job is active (submission through completion) *)
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
+  busy_ns : int array;
+      (* per-slot busy nanoseconds of the active job; slot 0 is the
+         submitter, slots 1.. are the workers. Each slot is written only
+         by its owning domain (under the mutex) and read by the
+         submitter after the job completes. *)
 }
 
 let size t = t.size
 
 (* Claim and run chunks until the queue is empty. Called with [t.mutex]
-   held; returns with it held. Shared by workers and the submitter. *)
-let drain_chunks t =
+   held; returns with it held. Shared by workers and the submitter;
+   [slot] identifies the calling domain's utilization-accounting slot
+   (0 = submitter). *)
+let drain_chunks t slot =
   let continue_ = ref true in
   while !continue_ do
     match t.body with
@@ -40,13 +62,19 @@ let drain_chunks t =
         t.next_chunk <- idx + 1;
         t.in_flight <- t.in_flight + 1;
         Mutex.unlock t.mutex;
+        let acct = Obs.Metrics.is_enabled () || Obs.Recorder.is_enabled () in
+        let t0 = if acct then Timer.now_ns () else 0L in
+        Obs.Recorder.begin_ ~arg:idx ev_chunk;
         let err =
           try
             body idx;
             None
           with e -> Some (e, Printexc.get_raw_backtrace ())
         in
+        Obs.Recorder.end_ ev_chunk;
+        let busy = if acct then Int64.to_int (Int64.sub (Timer.now_ns ()) t0) else 0 in
         Mutex.lock t.mutex;
+        if acct then t.busy_ns.(slot) <- t.busy_ns.(slot) + busy;
         (match err with
         | None -> ()
         | Some (e, bt) -> (
@@ -62,10 +90,10 @@ let drain_chunks t =
     | _ -> continue_ := false
   done
 
-let worker t =
+let worker t slot =
   Mutex.lock t.mutex;
   while not t.stopped do
-    drain_chunks t;
+    drain_chunks t slot;
     if not t.stopped then Condition.wait t.has_work t.mutex
   done;
   Mutex.unlock t.mutex
@@ -104,9 +132,10 @@ let create ?domains () =
       busy = false;
       stopped = false;
       workers = [];
+      busy_ns = Array.make size 0;
     }
   in
-  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <- List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
   t
 
 let shutdown t =
@@ -132,14 +161,18 @@ let run_job t ~n_chunks body =
     else begin
       Obs.Metrics.set m_domains (float_of_int t.size);
       Obs.Metrics.incr ~by:n_chunks m_tasks;
+      let acct = Obs.Metrics.is_enabled () || Obs.Recorder.is_enabled () in
+      let job_t0 = if acct then Timer.now_ns () else 0L in
+      Obs.Recorder.begin_ ~arg:n_chunks ev_job;
       Mutex.lock t.mutex;
+      if acct then Array.fill t.busy_ns 0 t.size 0;
       t.busy <- true;
       t.n_chunks <- n_chunks;
       t.next_chunk <- 0;
       t.failure <- None;
       t.body <- Some body;
       Condition.broadcast t.has_work;
-      drain_chunks t;
+      drain_chunks t 0;
       (* The queue is empty but workers may still be finishing claimed
          chunks; the straggler wait is the pool's imbalance cost. *)
       let wait_t0 =
@@ -154,6 +187,23 @@ let run_job t ~n_chunks body =
       t.failure <- None;
       t.busy <- false;
       Mutex.unlock t.mutex;
+      (* Per-domain utilization of the job just finished. Every worker
+         retired its last chunk under the mutex before [body] went back
+         to [None], so the busy_ns slots are quiescent here. *)
+      if acct then begin
+        let wall = Int64.to_float (Int64.sub (Timer.now_ns ()) job_t0) in
+        let wall = Float.max wall 1.0 in
+        let sum = ref 0.0 and mn = ref infinity in
+        Array.iter
+          (fun b ->
+            let r = Float.min 1.0 (float_of_int b /. wall) in
+            sum := !sum +. r;
+            if r < !mn then mn := r)
+          t.busy_ns;
+        Obs.Metrics.set g_busy_mean (!sum /. float_of_int t.size);
+        Obs.Metrics.set g_busy_min !mn
+      end;
+      Obs.Recorder.end_ ev_job;
       match failure with
       | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()

@@ -22,14 +22,25 @@
     inline on the calling domain rather than deadlocking. Worker bodies
     must confine themselves to read-only shared data plus writes to
     disjoint slots they own; of the {!Obs} registry they may touch
-    counters only (atomic since PR 3 — gauges and histograms remain
-    main-domain-only).
+    counters and histograms (both atomic — histograms since the
+    flight-recorder PR; previously [par.steal_wait_seconds] was
+    observed under a histograms-are-main-domain-only contract, which
+    held only because the pipeline always submits from the main
+    domain). Gauges remain main-domain-only. Worker domains also write
+    [par.chunk] begin/end events to their own {!Obs.Recorder} rings,
+    which are per-domain by construction.
 
     {b Metrics} (through {!Obs.Metrics}): [par.domains] (gauge, pool
     size of the most recent parallel job), [par.tasks] (counter, chunks
     dispatched to the pool), [par.steal_wait_seconds] (histogram, time
     the submitting domain idles waiting for straggler workers after the
-    chunk queue drains). *)
+    chunk queue drains), [par.domain_busy_ratio] /
+    [par.domain_busy_ratio_min] (gauges: mean and minimum over the
+    domains of busy-time / wall-time for the most recent parallel job —
+    the minimum is the straggler indicator). Recorder events:
+    [par.job] begin/end around each parallel job (arg = chunk count, on
+    the submitter's ring) and [par.chunk] begin/end around each chunk
+    (arg = chunk index, on the executing domain's ring). *)
 
 type t
 (** A persistent pool. Size [s] means [s] domains participate in every

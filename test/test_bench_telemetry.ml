@@ -92,6 +92,13 @@ let experiment ?(id = "table2") ?(wall = 10.0) ?(cluseq_s = 8.0) ?(quality = Som
     peak_heap_words = 2_000_000;
     pst_nodes_built = 12_345;
     pst_est_words_built = 400_000;
+    census =
+      {
+        Bench_report.pairs_scored = 10_000;
+        pairs_joined = 800;
+        dirty_rescores = 150;
+        assignments_changed = 420;
+      };
     quality;
   }
 

@@ -1,0 +1,158 @@
+(* Integration tests for the cross-domain flight recorder (DESIGN.md
+   §10): the Chrome-trace exporter must produce JSON that parses back
+   through Bench_json with the structure Perfetto expects, and the
+   reclustering scan census must be bit-identical for every domain
+   count and independent of whether instrumentation is enabled. *)
+
+let with_domains = Gen_common.with_domains
+
+let with_flight_recorder f =
+  Obs.reset ();
+  Obs.Metrics.enable ();
+  Obs.Trace.enable ();
+  Obs.Recorder.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.disable ();
+      Obs.Trace.disable ();
+      Obs.Recorder.disable ();
+      Obs.reset ())
+    f
+
+(* --- Chrome-trace export ------------------------------------------- *)
+
+let field name = function Bench_json.Obj fields -> List.assoc_opt name fields | _ -> None
+
+let str_field name ev =
+  match field name ev with Some (Bench_json.Str s) -> Some s | _ -> None
+
+let num_field name ev =
+  match field name ev with Some (Bench_json.Num n) -> Some n | _ -> None
+
+(* Record activity on several domains deterministically: one explicitly
+   spawned domain writes to its own ring, the main domain records a
+   span enclosing a small pool job (par.job ring events). *)
+let record_workload () =
+  let ev = Obs.Recorder.intern "test.fr_worker" in
+  let d =
+    Domain.spawn (fun () ->
+        Obs.Recorder.begin_ ~arg:1 ev;
+        Obs.Recorder.instant ~arg:2 ev;
+        Obs.Recorder.end_ ev)
+  in
+  Domain.join d;
+  Obs.Trace.with_span "fr_root" (fun () ->
+      let pool = Par.create ~domains:2 () in
+      Fun.protect
+        ~finally:(fun () -> Par.shutdown pool)
+        (fun () -> ignore (Par.map_chunks pool ~n:64 (fun i -> i + 1))))
+
+let test_trace_parses_back () =
+  with_flight_recorder @@ fun () ->
+  record_workload ();
+  let text = Obs.Export.to_chrome_trace () in
+  match Bench_json.parse text with
+  | Error msg -> Alcotest.failf "trace is not valid JSON: %s" msg
+  | Ok json ->
+      let events =
+        match field "traceEvents" json with
+        | Some (Bench_json.Arr evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      Alcotest.(check bool) "trace has events" true (events <> []);
+      List.iter
+        (fun ev ->
+          Alcotest.(check bool) "every event has a name" true (str_field "name" ev <> None);
+          Alcotest.(check bool) "every event has a phase" true (str_field "ph" ev <> None);
+          Alcotest.(check bool) "every event has a tid" true (num_field "tid" ev <> None))
+        events;
+      let real =
+        List.filter (fun ev -> str_field "ph" ev <> Some "M") events
+      in
+      List.iter
+        (fun ev ->
+          (match num_field "ts" ev with
+          | Some ts -> Alcotest.(check bool) "timestamps rebased to >= 0" true (ts >= 0.0)
+          | None -> Alcotest.fail "timeline event without ts");
+          if str_field "ph" ev = Some "i" then
+            Alcotest.(check (option string)) "instants carry thread scope" (Some "t")
+              (str_field "s" ev))
+        real;
+      let count ph = List.length (List.filter (fun ev -> str_field "ph" ev = Some ph) real) in
+      Alcotest.(check int) "begin/end events balanced" (count "B") (count "E");
+      Alcotest.(check bool) "span exported as a complete event" true
+        (List.exists
+           (fun ev -> str_field "ph" ev = Some "X" && str_field "name" ev = Some "fr_root")
+           real);
+      let tids =
+        List.sort_uniq compare (List.filter_map (fun ev -> num_field "tid" ev) real)
+      in
+      Alcotest.(check bool) "events from at least two domains" true (List.length tids >= 2);
+      List.iter
+        (fun tid ->
+          Alcotest.(check bool)
+            (Printf.sprintf "thread_name metadata for tid %g" tid)
+            true
+            (List.exists
+               (fun ev ->
+                 str_field "ph" ev = Some "M"
+                 && str_field "name" ev = Some "thread_name"
+                 && num_field "tid" ev = Some tid)
+               events))
+        tids;
+      match field "otherData" json with
+      | Some other ->
+          Alcotest.(check bool) "drop counters exported" true
+            (num_field "ring_events_dropped" other <> None)
+      | None -> Alcotest.fail "no otherData footer"
+
+(* --- census determinism -------------------------------------------- *)
+
+let censuses ~domains ~metrics =
+  let db, _ = Lazy.force Gen_common.small_db_and_truth in
+  with_domains domains (fun () ->
+      Obs.reset ();
+      if metrics then Obs.Metrics.enable () else Obs.Metrics.disable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.disable ();
+          Obs.reset ())
+        (fun () ->
+          let r = Cluseq.run ~config:Gen_common.small_config db in
+          List.map (fun (h : Cluseq.iteration_stats) -> h.census) r.history))
+
+let test_census_identical_across_domains () =
+  let base = censuses ~domains:1 ~metrics:false in
+  Alcotest.(check bool) "run produced iterations" true (base <> []);
+  let c4 = censuses ~domains:4 ~metrics:false in
+  Alcotest.(check bool) "census identical at 1 vs 4 domains" true (base = c4);
+  (* Counts are unconditional: instrumentation being on must not change
+     them. *)
+  let instrumented = censuses ~domains:4 ~metrics:true in
+  Alcotest.(check bool) "census independent of metrics" true (base = instrumented)
+
+let test_census_internal_consistency () =
+  List.iter
+    (fun (c : Cluseq.scan_census) ->
+      Alcotest.(check bool) "joins within scored pairs" true
+        (c.pairs_joined >= 0 && c.pairs_joined <= c.pairs_scored);
+      Alcotest.(check bool) "rescores within scored pairs" true
+        (c.dirty_rescores >= 0 && c.dirty_rescores <= c.pairs_scored);
+      Alcotest.(check int) "per-cluster calls sum to pairs_scored" c.pairs_scored
+        (Array.fold_left (fun acc (_, calls) -> acc + calls) 0 c.score_calls);
+      let w = Cluseq.wasted_pair_ratio c in
+      Alcotest.(check bool) "wasted ratio in [0, 1]" true (w >= 0.0 && w <= 1.0))
+    (censuses ~domains:2 ~metrics:false)
+
+let () =
+  Alcotest.run "flight_recorder"
+    [
+      ( "chrome-trace",
+        [ Alcotest.test_case "export parses back" `Quick test_trace_parses_back ] );
+      ( "census",
+        [
+          Alcotest.test_case "identical across domain counts" `Quick
+            test_census_identical_across_domains;
+          Alcotest.test_case "internally consistent" `Quick test_census_internal_consistency;
+        ] );
+    ]

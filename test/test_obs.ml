@@ -74,6 +74,29 @@ let test_histogram_buckets () =
   Alcotest.(check int) "total count" 4 (Obs.Metrics.histogram_count h);
   Alcotest.(check (float 1e-9)) "sum" 106.5 (Obs.Metrics.histogram_sum h)
 
+let test_quantiles () =
+  with_clean_obs @@ fun () ->
+  let h = Obs.Metrics.histogram ~buckets:[| 10.0; 20.0; 30.0 |] "test.quant" in
+  Alcotest.(check bool) "empty histogram -> nan" true
+    (Float.is_nan (Obs.Metrics.quantile h 0.5));
+  for _ = 1 to 4 do Obs.Metrics.observe h 5.0 done;
+  for _ = 1 to 4 do Obs.Metrics.observe h 15.0 done;
+  for _ = 1 to 2 do Obs.Metrics.observe h 25.0 done;
+  (* rank 5 of 10 falls 1/4 into the (10, 20] bucket *)
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 12.5 (Obs.Metrics.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p90 interpolates" 25.0 (Obs.Metrics.quantile h 0.9);
+  Alcotest.(check (float 1e-9)) "q=0 is the lower edge" 0.0 (Obs.Metrics.quantile h 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 is the upper edge" 30.0 (Obs.Metrics.quantile h 1.0);
+  (* overflow observations clamp to the last finite bound *)
+  for _ = 1 to 20 do Obs.Metrics.observe h 1000.0 done;
+  Alcotest.(check (float 1e-9)) "overflow clamps to last bound" 30.0
+    (Obs.Metrics.quantile h 0.99);
+  Alcotest.(check bool) "q out of range raises" true
+    (try
+       ignore (Obs.Metrics.quantile h 1.5);
+       false
+     with Invalid_argument _ -> true)
+
 let test_disabled_noop () =
   Obs.reset ();
   Obs.Metrics.disable ();
@@ -161,6 +184,105 @@ let test_span_disabled_passthrough () =
   Obs.reset ()
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_clean_recorder f =
+  Obs.reset ();
+  Obs.Recorder.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Recorder.disable ();
+      Obs.Recorder.set_capacity 65536;
+      Obs.reset ())
+    f
+
+let test_recorder_disabled_noop () =
+  Obs.reset ();
+  Obs.Recorder.disable ();
+  let ev = Obs.Recorder.intern "test.rec_off" in
+  Obs.Recorder.begin_ ev;
+  Obs.Recorder.instant ~arg:9 ev;
+  Obs.Recorder.end_ ev;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Recorder.events ()));
+  Alcotest.(check int) "nothing dropped" 0 (Obs.Recorder.dropped ());
+  Obs.reset ()
+
+let test_recorder_roundtrip () =
+  with_clean_recorder @@ fun () ->
+  let a = Obs.Recorder.intern "test.rec_a" in
+  let b = Obs.Recorder.intern "test.rec_b" in
+  Obs.Recorder.begin_ ~arg:7 a;
+  Obs.Recorder.instant ~arg:3 b;
+  Obs.Recorder.end_ a;
+  match Obs.Recorder.events () with
+  | [ e1; e2; e3 ] ->
+      Alcotest.(check bool) "kinds in order" true
+        (e1.Obs.Recorder.kind = Obs.Recorder.Begin
+        && e2.Obs.Recorder.kind = Obs.Recorder.Instant
+        && e3.Obs.Recorder.kind = Obs.Recorder.End);
+      Alcotest.(check string) "begin name" "test.rec_a" e1.ev_name;
+      Alcotest.(check string) "instant name" "test.rec_b" e2.ev_name;
+      Alcotest.(check int) "begin arg" 7 e1.arg;
+      Alcotest.(check int) "instant arg" 3 e2.arg;
+      Alcotest.(check bool) "timestamps monotone" true
+        (e1.ts_ns <= e2.ts_ns && e2.ts_ns <= e3.ts_ns);
+      Alcotest.(check bool) "same domain" true
+        (e1.domain = e2.domain && e2.domain = e3.domain)
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
+
+let test_recorder_with_event_exception_safe () =
+  with_clean_recorder @@ fun () ->
+  let ev = Obs.Recorder.intern "test.rec_exn" in
+  (try Obs.Recorder.with_event ev (fun () -> failwith "boom") with Failure _ -> ());
+  let kinds = List.map (fun e -> e.Obs.Recorder.kind) (Obs.Recorder.events ()) in
+  Alcotest.(check bool) "end emitted despite the raise" true
+    (kinds = [ Obs.Recorder.Begin; Obs.Recorder.End ])
+
+let test_recorder_wraparound () =
+  with_clean_recorder @@ fun () ->
+  (* A fresh domain gets a fresh (small) ring; the main domain's ring
+     already exists at its default capacity. *)
+  Obs.Recorder.set_capacity 16;
+  let d =
+    Domain.spawn (fun () ->
+        let ev = Obs.Recorder.intern "test.rec_wrap" in
+        for i = 0 to 39 do
+          Obs.Recorder.instant ~arg:i ev
+        done)
+  in
+  Domain.join d;
+  let evs =
+    List.filter (fun e -> e.Obs.Recorder.ev_name = "test.rec_wrap") (Obs.Recorder.events ())
+  in
+  Alcotest.(check int) "ring keeps the newest capacity-many" 16 (List.length evs);
+  Alcotest.(check int) "overwritten events counted as dropped" 24 (Obs.Recorder.dropped ());
+  let args = List.map (fun e -> e.Obs.Recorder.arg) evs in
+  Alcotest.(check int) "oldest survivor" 24 (List.fold_left min max_int args);
+  Alcotest.(check int) "newest survivor" 39 (List.fold_left max min_int args);
+  Obs.Recorder.reset ();
+  Alcotest.(check int) "reset empties rings" 0 (List.length (Obs.Recorder.events ()));
+  Alcotest.(check int) "reset clears drop count" 0 (Obs.Recorder.dropped ())
+
+let test_recorder_multi_domain () =
+  with_clean_recorder @@ fun () ->
+  let ev = Obs.Recorder.intern "test.rec_md" in
+  Obs.Recorder.instant ~arg:0 ev;
+  let spawned =
+    Domain.spawn (fun () ->
+        Obs.Recorder.instant ~arg:1 ev;
+        (Domain.self () :> int))
+  in
+  let worker_id = Domain.join spawned in
+  let evs =
+    List.filter (fun e -> e.Obs.Recorder.ev_name = "test.rec_md") (Obs.Recorder.events ())
+  in
+  let domains = List.sort_uniq compare (List.map (fun e -> e.Obs.Recorder.domain) evs) in
+  Alcotest.(check int) "events from both domains" 2 (List.length domains);
+  Alcotest.(check bool) "worker ring tagged with its domain id" true
+    (List.exists (fun e -> e.Obs.Recorder.domain = worker_id && e.arg = 1) evs)
+
+(* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -184,6 +306,9 @@ let test_json_export () =
       "\"test.json_c\": 3";
       "\"test.json_g\": 1.5";
       "\"test.json_h\"";
+      "\"p50\"";
+      "\"p95\"";
+      "\"p99\"";
       "\"+Inf\"";
       "\"spans\"";
       "\"test_root\"";
@@ -329,8 +454,18 @@ let () =
           Alcotest.test_case "kind mismatch raises" `Quick test_kind_mismatch;
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram bucketing" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram quantiles" `Quick test_quantiles;
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
           Alcotest.test_case "reset keeps handles live" `Quick test_reset_in_place;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_recorder_disabled_noop;
+          Alcotest.test_case "begin/instant/end round trip" `Quick test_recorder_roundtrip;
+          Alcotest.test_case "with_event exception safety" `Quick
+            test_recorder_with_event_exception_safe;
+          Alcotest.test_case "wrap-around and drop accounting" `Quick test_recorder_wraparound;
+          Alcotest.test_case "per-domain rings" `Quick test_recorder_multi_domain;
         ] );
       ( "trace",
         [
