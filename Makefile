@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one CI should run.
 
-.PHONY: all build test bench bench-smoke trace-smoke check fuzz coverage fmt clean
+.PHONY: all build test bench bench-smoke trace-smoke check fuzz coverage fmt fmt-check clean
 
 all: build
 
@@ -56,10 +56,11 @@ trace-smoke: build
 fuzz: build
 	dune exec bin/cluseq_cli.exe -- check --fuzz 200 --seed 42
 
-# Full gate: build, unit tests, the fuzz sweep, the CLI metrics smoke
-# run (generate -> cluster --metrics -> grep), the perf regression
-# smoke gate, and the flight-recorder trace smoke gate.
-check: build test fuzz bench-smoke trace-smoke
+# Full gate: build, unit tests, the fuzz sweep, the formatting check,
+# the CLI metrics smoke run (generate -> cluster --metrics -> grep),
+# the perf regression smoke gate, and the flight-recorder trace smoke
+# gate.
+check: build test fuzz fmt-check bench-smoke trace-smoke
 	@tmp=$$(mktemp -d); \
 	dune exec bin/cluseq_cli.exe -- generate --kind synthetic --num 60 --len 60 \
 	  --clusters 3 -o $$tmp/smoke.tsv >/dev/null; \
@@ -74,9 +75,18 @@ check: build test fuzz bench-smoke trace-smoke
 	echo "check: OK"
 
 # Requires ocamlformat (pinned in .ocamlformat); not installed in every
-# environment, so this is not part of `check`.
+# environment. `fmt` rewrites in place; `fmt-check` only diffs (no
+# promotion) and is part of `check`, gated on the tool's presence so
+# environments without ocamlformat still pass the rest of the gate.
 fmt:
 	dune build @fmt --auto-promote
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt && echo "fmt-check: OK"; \
+	else \
+	  echo "fmt-check: ocamlformat is not installed; skipping."; \
+	fi
 
 # Line-coverage report for the test suite. bisect_ppx is optional (not
 # baked into every build image), so the target gates on its presence

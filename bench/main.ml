@@ -19,6 +19,8 @@
                                               # Perfetto flight-recorder trace
      dune exec bench/main.exe -- trace-validate trace.json
                                               # sanity-check a trace file
+     dune exec bench/main.exe -- table4 --journal journal.jsonl
+                                              # decision-provenance journal (JSONL)
 
    Each experiment regenerates one table or figure of the paper's
    evaluation (see DESIGN.md Sec. 4 for the experiment index and
@@ -178,6 +180,7 @@ let () =
       let metrics_dir = ref None in
       let record = ref None in
       let trace_out = ref None in
+      let journal = ref None in
       let selected = ref [] in
       let rec parse = function
         | [] -> ()
@@ -199,6 +202,10 @@ let () =
         | "--trace-out" :: rest ->
             let file, rest = operand ~flag:"--trace-out" rest in
             trace_out := Some file;
+            parse rest
+        | "--journal" :: rest ->
+            let file, rest = operand ~flag:"--journal" rest in
+            journal := Some file;
             parse rest
         | "--scale" :: rest ->
             let v, rest = operand ~flag:"--scale" rest in
@@ -241,6 +248,11 @@ let () =
         if not (Obs.Runtime_bridge.start ()) then
           prerr_endline "warning: Runtime_events unavailable; trace will lack GC events"
       end;
+      (match !journal with
+      | None -> ()
+      | Some file -> (
+          try Obs.Journal.open_file file
+          with Sys_error msg -> die "cannot open journal %s: %s" file msg));
       Printf.printf "CLUSEQ benchmark harness (scale %.2f, domains %d)\n" !scale
         (Par.default_domains ());
       let total = ref 0.0 in
@@ -302,4 +314,13 @@ let () =
           Obs.Runtime_bridge.stop ();
           Obs.Export.write_file file (Obs.Export.to_chrome_trace ());
           Printf.printf "[trace written to %s (open at https://ui.perfetto.dev)]\n%!" file);
+      (match !journal with
+      | None -> ()
+      | Some file ->
+          Obs.Journal.close ();
+          (* Read the totals after close: the final flush is what moves
+             still-buffered records into the written count. *)
+          let written = Obs.Journal.events_written () and dropped = Obs.Journal.dropped () in
+          Printf.printf "[journal written to %s (%d records%s)]\n%!" file written
+            (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else ""));
       Printf.printf "\nall experiments done in %.1fs\n" !total

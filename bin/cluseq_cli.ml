@@ -5,6 +5,8 @@
                 language workloads) into a label<TAB>sequence file
      cluster    run CLUSEQ on a sequence file, print cluster assignments
      evaluate   score a clustering against the ground-truth labels in the file
+     explain    one sequence's join/leave provenance + per-position
+                similarity attribution
      info       print database statistics
 
    All randomness is seeded; identical invocations produce identical
@@ -49,12 +51,23 @@ let emit_chrome_trace file () =
 
 (* Returns the verbosity count; reports are emitted via [at_exit] so a
    subcommand needs no explicit teardown. *)
-let setup_obs verbosity metrics trace trace_out domains check no_psa =
+let setup_obs verbosity metrics trace trace_out journal domains check no_psa =
   let vcount = List.length verbosity in
   Obs.Logging.setup ~level:(Obs.Logging.level_of_verbosity vcount) ();
   (match domains with None -> () | Some d -> Par.set_default_domains d);
   if no_psa then Psa.set_enabled false;
   if check then Check.install_auditor () else Check.install_from_env ();
+  (match journal with
+  | None -> ()
+  | Some file -> (
+      try
+        Obs.Journal.open_file file;
+        at_exit (fun () ->
+            Obs.Journal.close ();
+            let dropped = Obs.Journal.dropped () in
+            if dropped > 0 then
+              Printf.eprintf "cluseq: journal dropped %d records (write failures)\n" dropped)
+      with Sys_error msg -> Printf.eprintf "cluseq: cannot open journal: %s\n" msg));
   (match metrics with
   | None -> ()
   | Some dest ->
@@ -114,6 +127,18 @@ let obs_term =
              merges the main-domain span tree, per-domain worker events from the scoring \
              pool, and GC/domain-lifecycle events from the OCaml runtime.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Record a decision-provenance journal to $(docv): one JSON object per line \
+             describing every model decision (clusters seeded / grown / frozen / dismissed, \
+             threshold moves, per-sequence joins and leaves with the deciding similarity, \
+             per-iteration drift gauges). Zero cost when absent; read it back with \
+             $(b,cluseq explain).")
+  in
   let domains =
     Arg.(
       value
@@ -143,7 +168,9 @@ let obs_term =
              sequence by the tree walk instead. Results are bit-identical either way; this \
              exists for debugging and for measuring the automaton's speedup end to end.")
   in
-  Term.(const setup_obs $ verbosity $ metrics $ trace $ trace_out $ domains $ check $ no_psa)
+  Term.(
+    const setup_obs $ verbosity $ metrics $ trace $ trace_out $ journal $ domains $ check
+    $ no_psa)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -410,6 +437,176 @@ let evaluate_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let seq_arg =
+    Arg.(
+      required & pos 1 (some int) None
+      & info [] ~docv:"SEQ_ID" ~doc:"Sequence id: 0-based line position in FILE.")
+  in
+  let cluster_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cluster" ] ~docv:"ID"
+          ~doc:
+            "Explain the similarity to this cluster (default: the sequence's best final \
+             cluster).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Number of top contributing positions to print.")
+  in
+  let die fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "cluseq: %s\n" msg;
+        exit 1)
+      fmt
+  in
+  let fint k fields = Option.bind (List.assoc_opt k fields) Bench_json.to_int in
+  let ffloat k fields = Option.bind (List.assoc_opt k fields) Bench_json.to_float in
+  let run _vcount file seq_id config cluster_opt top =
+    let alphabet, rows = Seq_io.read_labeled file in
+    let db, _ = Seq_io.to_database alphabet rows in
+    let n = Seq_database.n_sequences db in
+    if seq_id < 0 || seq_id >= n then
+      die "SEQ_ID %d out of range (file has %d sequences)" seq_id n;
+    (* The run is deterministic for a fixed config, so re-deriving
+       provenance is exact: journal the rerun — to the --journal file
+       when one was given, else to a throwaway temp file — and read the
+       records back. *)
+    let temp =
+      match Obs.Journal.current_path () with
+      | Some _ -> None
+      | None ->
+          let tmp = Filename.temp_file "cluseq-explain" ".jsonl" in
+          (try Obs.Journal.open_file tmp
+           with Sys_error msg -> die "cannot open journal: %s" msg);
+          Some tmp
+    in
+    let result = Cluseq.run ~config db in
+    Obs.Journal.flush ();
+    let jpath =
+      match Obs.Journal.current_path () with Some p -> p | None -> die "journal vanished"
+    in
+    let entries =
+      match Obs.Journal.read_file jpath with
+      | Ok es -> es
+      | Error msg -> die "cannot read journal %s: %s" jpath msg
+    in
+    (match temp with
+    | Some tmp ->
+        Obs.Journal.close ();
+        (try Sys.remove tmp with Sys_error _ -> ())
+    | None -> ());
+    (* --- assignment history --- *)
+    Printf.printf "sequence %d: assignment history\n" seq_id;
+    let joined_ever = Hashtbl.create 8 in
+    let printed = ref 0 in
+    List.iter
+      (fun (e : Obs.Journal.entry) ->
+        let iter = Option.value ~default:0 (fint "iter" e.j_fields) in
+        let cl = Option.value ~default:(-1) (fint "cluster" e.j_fields) in
+        match e.j_event with
+        | "seq.joined" when fint "seq" e.j_fields = Some seq_id ->
+            incr printed;
+            Hashtbl.replace joined_ever cl ();
+            Printf.printf "  iter %2d: joined cluster %d (log-sim %.4f >= log t %.4f)\n" iter
+              cl
+              (Option.value ~default:Float.nan (ffloat "log_sim" e.j_fields))
+              (Option.value ~default:Float.nan (ffloat "log_t" e.j_fields))
+        | "seq.left" when fint "seq" e.j_fields = Some seq_id ->
+            incr printed;
+            Printf.printf "  iter %2d: left cluster %d (log-sim %.4f < log t %.4f)\n" iter cl
+              (Option.value ~default:Float.nan (ffloat "log_sim" e.j_fields))
+              (Option.value ~default:Float.nan (ffloat "log_t" e.j_fields))
+        | "cluster.dismissed" when Hashtbl.mem joined_ever cl ->
+            incr printed;
+            let absorbers =
+              match List.assoc_opt "absorbed_by" e.j_fields with
+              | Some (Bench_json.Arr l) -> List.filter_map Bench_json.to_int l
+              | _ -> []
+            in
+            Printf.printf "  iter %2d: cluster %d dismissed in consolidation%s\n" iter cl
+              (match absorbers with
+              | [] -> ""
+              | l ->
+                  Printf.sprintf " (members absorbed by %s)"
+                    (String.concat ", " (List.map string_of_int l)))
+        | _ -> ())
+      entries;
+    if !printed = 0 then Printf.printf "  (no membership changes — never joined a cluster)\n";
+    (match result.assignments.(seq_id) with
+    | [] -> Printf.printf "final: outlier (member of no cluster)\n"
+    | cs ->
+        Printf.printf "final: member of cluster%s %s\n"
+          (if List.length cs > 1 then "s" else "")
+          (String.concat ", " (List.map string_of_int cs)));
+    (* --- per-position attribution --- *)
+    let target =
+      match cluster_opt with
+      | Some c -> c
+      | None -> (
+          match result.best.(seq_id) with
+          | Some (c, _) -> c
+          | None ->
+              die "sequence %d has no finite similarity to any final cluster; pass --cluster"
+                seq_id)
+    in
+    let pst =
+      match Array.find_opt (fun (id, _) -> id = target) result.models with
+      | Some (_, pst) -> pst
+      | None -> die "cluster %d is not among the final clusters" target
+    in
+    let psa = Psa.compile pst in
+    let lbg = Seq_database.log_background db in
+    let s = Seq_database.get db seq_id in
+    let a = Similarity.score_attributed psa ~log_background:lbg s in
+    let r = a.attr_result in
+    Printf.printf
+      "\nsimilarity to cluster %d: log-sim %.4f (linear %.4g), maximizing segment [%d..%d] \
+       of %d symbols\n"
+      target r.log_sim
+      (Similarity.linear_of_log r.log_sim)
+      r.seg_lo r.seg_hi (Array.length s);
+    let k = min top (Array.length s) in
+    Printf.printf "top %d contributing positions (X = log P(sym|ctx) - log p(sym)):\n" k;
+    let idx = Array.init (Array.length s) Fun.id in
+    Array.sort
+      (fun i j ->
+        let c = compare a.attr_xs.(j) a.attr_xs.(i) in
+        if c <> 0 then c else compare i j)
+      idx;
+    Array.iteri
+      (fun rank i ->
+        if rank < k then begin
+          let d = a.attr_depths.(i) in
+          let ctx =
+            if d = 0 then "(empty)" else Alphabet.decode alphabet (Array.sub s (i - d) d)
+          in
+          Printf.printf "  pos %5d  sym %-3s X=%+.4f  ctx(%d)=%s%s\n" i
+            (Alphabet.symbol alphabet s.(i))
+            a.attr_xs.(i) d ctx
+            (if i >= r.seg_lo && i <= r.seg_hi then "  [in segment]" else "")
+        end)
+      idx
+  in
+  let term =
+    Term.(const run $ obs_term $ file_arg 0 $ seq_arg $ config_args $ cluster_arg $ top_arg)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain one sequence's clustering: its join/leave history (from a decision \
+          journal) and the per-position log-odds contributions behind its similarity to a \
+          cluster.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -499,4 +696,13 @@ let () =
   let doc = "CLUSEQ: probabilistic-suffix-tree sequence clustering (ICDE 2003)" in
   let info = Cmd.info "cluseq" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-          [ generate_cmd; cluster_cmd; train_cmd; classify_cmd; evaluate_cmd; check_cmd; info_cmd ]))
+          [
+            generate_cmd;
+            cluster_cmd;
+            train_cmd;
+            classify_cmd;
+            evaluate_cmd;
+            explain_cmd;
+            check_cmd;
+            info_cmd;
+          ]))

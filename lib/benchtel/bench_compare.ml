@@ -25,6 +25,11 @@ let min_words = 1e6
    change. *)
 let census_threshold_pct = 1.0
 
+(* Drift gauges are deterministic too (serial-state means, no clock
+   reads), but they are ratios of float sums, so allow a little more
+   slack than raw counts before calling a quality shift real. *)
+let drift_threshold_pct = 5.0
+
 let change_pct ~base ~candidate =
   if base = 0.0 then 0.0 else (candidate -. base) /. Float.abs base *. 100.0
 
@@ -109,6 +114,25 @@ let compare_experiment ~threshold ~quality_threshold (b : Bench_report.experimen
           ~candidate:(Bench_report.wasted_pair_ratio c.census);
       ]
   in
+  (* Drift gauges: skipped when the base predates them (all-zero
+     block) so old baselines keep comparing. Churn falling is calmer
+     clustering; ages, inter-cluster separation, and member scores
+     falling mean quality drifted down. *)
+  let drift =
+    if Bench_report.drift_is_empty b.drift then []
+    else
+      let gauge metric direction base candidate =
+        judge ~threshold:drift_threshold_pct ~direction ~min_base:1e-6
+          ~experiment:b.id ~metric ~base ~candidate
+      in
+      [
+        gauge "drift.churn_rate" Lower_better b.drift.churn_rate c.drift.churn_rate;
+        gauge "drift.cluster_age" Higher_better b.drift.cluster_age c.drift.cluster_age;
+        gauge "drift.intercluster_kl" Higher_better b.drift.intercluster_kl
+          c.drift.intercluster_kl;
+        gauge "drift.member_score" Higher_better b.drift.member_score c.drift.member_score;
+      ]
+  in
   let quality =
     match (b.quality, c.quality) with
     | Some (bm, bv), Some (cm, cv) when bm = cm ->
@@ -118,7 +142,7 @@ let compare_experiment ~threshold ~quality_threshold (b : Bench_report.experimen
         ]
     | _ -> []
   in
-  verdicts @ census @ quality
+  verdicts @ census @ drift @ quality
 
 let compare_reports ?(threshold_pct = 25.0) ?(quality_threshold_pct = 2.0)
     ~(base : Bench_report.t) ~(candidate : Bench_report.t) () =

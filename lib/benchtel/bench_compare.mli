@@ -19,6 +19,12 @@
       at any domain count, so held to a tight 1% threshold — drift
       beyond rounding is a real algorithmic change. Skipped when the
       base report carries no census (all-zero block).
+    - {b Drift gauges} ([drift.churn_rate] lower-better;
+      [drift.cluster_age], [drift.intercluster_kl],
+      [drift.member_score] higher-better): per-iteration
+      clustering-quality means, deterministic for a fixed seed but
+      built from float sums, so held to a 5% threshold. Skipped when
+      the base report predates the gauges (all-zero drift block).
     - {b Quality} (the experiment headline, e.g. accuracy): regression
       on a {e relative} drop beyond [quality_threshold_pct]. Quality is
       seeded-deterministic, so any drop is a real behavior change; the

@@ -4,7 +4,10 @@
 let schema_name = "cluseq-bench"
 
 (* v2: added the reclustering scan-census block (pairs scored / joined,
-   dirty rescores, assignments changed, wasted-pair ratio). *)
+   dirty rescores, assignments changed, wasted-pair ratio), then the
+   clustering-quality drift block (per-iteration means of the
+   cluseq.drift.* gauges). Readers default missing numerics to 0, so
+   the drift addition stays within v2. *)
 let schema_version = 2
 
 type env = {
@@ -28,6 +31,17 @@ let wasted_pair_ratio c =
   if c.pairs_scored = 0 then 0.0
   else float_of_int (c.pairs_scored - c.pairs_joined) /. float_of_int c.pairs_scored
 
+type drift = {
+  churn_rate : float;
+  cluster_age : float;
+  intercluster_kl : float;
+  member_score : float;
+}
+
+let drift_is_empty d =
+  d.churn_rate = 0.0 && d.cluster_age = 0.0 && d.intercluster_kl = 0.0
+  && d.member_score = 0.0
+
 type experiment = {
   id : string;
   wall_s : float;
@@ -42,6 +56,7 @@ type experiment = {
   pst_nodes_built : int;
   pst_est_words_built : int;
   census : census;
+  drift : drift;
   quality : (string * float) option;
 }
 
@@ -112,6 +127,11 @@ let phase_names = [ "generation"; "reclustering"; "consolidation"; "threshold"; 
 let capture ~id ~wall_s ~gc ~peak_heap_words ~quality =
   let counter name = Obs.Metrics.(counter_value (counter name)) in
   let hist_sum name = Obs.Metrics.(histogram_sum (histogram name)) in
+  let hist_mean name =
+    let h = Obs.Metrics.histogram name in
+    let n = Obs.Metrics.histogram_count h in
+    if n = 0 then 0.0 else Obs.Metrics.histogram_sum h /. float_of_int n
+  in
   {
     id;
     wall_s;
@@ -131,6 +151,13 @@ let capture ~id ~wall_s ~gc ~peak_heap_words ~quality =
         pairs_joined = counter "cluseq.scan.pairs_joined";
         dirty_rescores = counter "cluseq.scan.dirty_rescores";
         assignments_changed = counter "cluseq.scan.assignments_changed";
+      };
+    drift =
+      {
+        churn_rate = hist_mean "cluseq.drift.churn_rate";
+        cluster_age = hist_mean "cluseq.drift.cluster_age";
+        intercluster_kl = hist_mean "cluseq.drift.intercluster_kl";
+        member_score = hist_mean "cluseq.drift.member_score";
       };
     quality;
   }
@@ -206,6 +233,14 @@ let experiment_to_json (e : experiment) =
             ("dirty_rescores", num_i e.census.dirty_rescores);
             ("assignments_changed", num_i e.census.assignments_changed);
             ("wasted_pair_ratio", Num (wasted_pair_ratio e.census));
+          ] );
+      ( "drift",
+        Obj
+          [
+            ("churn_rate", Num e.drift.churn_rate);
+            ("cluster_age", Num e.drift.cluster_age);
+            ("intercluster_kl", Num e.drift.intercluster_kl);
+            ("member_score", Num e.drift.member_score);
           ] );
       ( "quality",
         match e.quality with
@@ -288,6 +323,15 @@ let experiment_of_json id json =
         pairs_joined = get_i [ "census"; "pairs_joined" ] json;
         dirty_rescores = get_i [ "census"; "dirty_rescores" ] json;
         assignments_changed = get_i [ "census"; "assignments_changed" ] json;
+      };
+    (* Files recorded before the drift gauges read as all-zero; compare
+       treats that as "no baseline" and skips drift verdicts. *)
+    drift =
+      {
+        churn_rate = get_f [ "drift"; "churn_rate" ] json;
+        cluster_age = get_f [ "drift"; "cluster_age" ] json;
+        intercluster_kl = get_f [ "drift"; "intercluster_kl" ] json;
+        member_score = get_f [ "drift"; "member_score" ] json;
       };
     quality =
       (match member "quality" json with

@@ -12,9 +12,11 @@ val schema_name : string
 (** ["cluseq-bench"] — the [schema] field of every file. *)
 
 val schema_version : int
-(** Current version (2 — v2 added the scan-census block). {!of_json}
-    rejects other versions with a message telling the caller to
-    regenerate the file. *)
+(** Current version (2 — v2 added the scan-census block, later joined
+    by the drift block; readers default missing numerics to 0, so the
+    drift addition did not need a bump). {!of_json} rejects other
+    versions with a message telling the caller to regenerate the
+    file. *)
 
 type env = {
   label : string;  (** Run label, conventionally the [BENCH_<label>.json] stem. *)
@@ -46,6 +48,30 @@ val wasted_pair_ratio : census -> float
 (** [(pairs_scored - pairs_joined) / pairs_scored]; 0 when nothing was
     scored. *)
 
+type drift = {
+  churn_rate : float;
+      (** Mean per-iteration fraction of sequences whose assignment
+          changed ([cluseq.drift.churn_rate]). Lower is calmer. *)
+  cluster_age : float;
+      (** Mean age (iterations since seeding) of live clusters at each
+          iteration's end. Higher means clusters persist. *)
+  intercluster_kl : float;
+      (** Mean symmetric KL divergence over the sampled live-cluster
+          panel — higher means better-separated models. *)
+  member_score : float;
+      (** Mean member log-similarity against the owning cluster —
+          higher means tighter clusters. *)
+}
+(** Clustering-quality drift gauges: per-iteration means of the
+    [cluseq.drift.*] histograms, summed over every run of the
+    experiment. Derived from deterministic serial state, so identical
+    at any domain count; files recorded before the gauges existed read
+    as all-zero ({!drift_is_empty}) and comparisons skip them. *)
+
+val drift_is_empty : drift -> bool
+(** True when every gauge is exactly 0 — the block was recorded by a
+    pre-drift harness (or with metrics disabled), not measured. *)
+
 type experiment = {
   id : string;  (** Experiment id ([table2], [fig4], …). *)
   wall_s : float;  (** Monotonic wall time of the whole experiment. *)
@@ -63,6 +89,7 @@ type experiment = {
   pst_nodes_built : int;  (** Final PST nodes, summed over runs. *)
   pst_est_words_built : int;  (** Estimated words of those trees. *)
   census : census;  (** Reclustering scan census (schema v2). *)
+  drift : drift;  (** Clustering-quality drift gauges. *)
   quality : (string * float) option;
       (** The experiment's quality headline, e.g. [("accuracy", 0.82)] —
           recorded so a perf win can't silently trade away quality. *)

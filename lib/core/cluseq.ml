@@ -32,6 +32,30 @@ let m_dirty_rescores = Obs.Metrics.counter "cluseq.scan.dirty_rescores"
 let m_assignments_changed = Obs.Metrics.counter "cluseq.scan.assignments_changed"
 let g_wasted_ratio = Obs.Metrics.gauge "cluseq.scan.wasted_pair_ratio"
 
+(* Clustering-quality drift gauges: one observation per iteration (one
+   per cluster for ages, one per live pair for KL, one per joined pair
+   for scores). Sum/count recover per-run means for the BENCH [drift]
+   block; the same numbers feed the journal's [iteration.drift]
+   records. Computed only when metrics or the journal are on, and after
+   the phase timers, so [reclustering_s] never includes them. *)
+let h_churn_rate =
+  Obs.Metrics.histogram
+    ~buckets:[| 0.001; 0.005; 0.01; 0.05; 0.1; 0.25; 0.5; 1.0 |]
+    "cluseq.drift.churn_rate"
+
+let h_cluster_age =
+  Obs.Metrics.histogram ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |] "cluseq.drift.cluster_age"
+
+let h_intercluster_kl =
+  Obs.Metrics.histogram
+    ~buckets:[| 0.01; 0.05; 0.1; 0.25; 0.5; 1.0; 2.0; 4.0 |]
+    "cluseq.drift.intercluster_kl"
+
+let h_member_score =
+  Obs.Metrics.histogram
+    ~buckets:[| 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]
+    "cluseq.drift.member_score"
+
 (* The five phases of one iteration, in execution order; indexes into
    [h_phase] and the per-iteration timing array in [run]. *)
 let phase_names = [| "generation"; "reclustering"; "consolidation"; "threshold"; "convergence" |]
@@ -114,6 +138,23 @@ let wasted_pair_ratio c =
   if c.pairs_scored = 0 then 0.0
   else float_of_int (c.pairs_scored - c.pairs_joined) /. float_of_int c.pairs_scored
 
+type drift = {
+  churn_rate : float;
+  mean_cluster_age : float;
+  mean_intercluster_kl : float;
+  mean_member_score : float;
+  scored_members : int;
+}
+
+(* Journal events decided inside the timed reclustering scan. Recording
+   them is one cons per decision; JSON formatting and file writes happen
+   after the phase timer stops, so journaling cannot distort the
+   reclustering_s it documents (same discipline as the drift gauges). *)
+type pending_event =
+  | Ev_joined of int * int * float  (* seq, cluster, deciding log_sim *)
+  | Ev_left of int * int * float
+  | Ev_grew of int * int * int  (* cluster, fresh joiners, end-of-pass size *)
+
 type iteration_stats = {
   iteration : int;
   new_clusters : int;
@@ -124,6 +165,7 @@ type iteration_stats = {
   membership_changes : int;
   census : scan_census;
   timings : phase_timings option;
+  drift : drift option;
 }
 
 type result = {
@@ -155,7 +197,7 @@ let pst_config (cfg : config) ~alphabet_size : Pst.config =
    the domain pool; the greedy argmin and all max-similarity updates run
    on the calling domain in sample order, so the chosen seeds are
    independent of the pool size. *)
-let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
+let generate_new_clusters cfg db rng ~iter ~next_id ~clusters ~unclustered ~k_n =
   let lbg = Seq_database.log_background db in
   let pool = Array.of_list unclustered in
   if Array.length pool = 0 || k_n <= 0 then []
@@ -180,6 +222,7 @@ let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
     let taken = Array.make m false in
     let new_clusters = ref [] in
     let id = ref next_id in
+    let jrn = Obs.Journal.is_enabled () in
     for _ = 1 to k_n do
       (* argmin over remaining samples of max-similarity-to-T *)
       let best = ref (-1) in
@@ -191,10 +234,17 @@ let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
         taken.(j) <- true;
         let seed_seq = Seq_database.get db samples.(j) in
         let cl =
-          Cluster.create ~id:!id ~capacity:(Seq_database.n_sequences db)
+          Cluster.create ~id:!id ~born:iter ~capacity:(Seq_database.n_sequences db)
             (pst_config cfg ~alphabet_size:(Alphabet.size (Seq_database.alphabet db)))
             seed_seq
         in
+        if jrn then
+          Obs.Journal.emit "cluster.seeded" (fun () ->
+              [
+                ("iter", Bench_json.Num (float_of_int iter));
+                ("cluster", Bench_json.Num (float_of_int !id));
+                ("seed_seq", Bench_json.Num (float_of_int samples.(j)));
+              ]);
         incr id;
         Cluster.compile cl;
         new_clusters := cl :: !new_clusters;
@@ -224,7 +274,7 @@ let generate_new_clusters cfg db rng ~next_id ~clusters ~unclustered ~k_n =
    small sharp clusters can then jointly retire a large blend, while
    identical twins cannot annihilate each other (the first to be dismissed
    stops covering the second). See DESIGN.md. *)
-let consolidate ~min_residual clusters =
+let consolidate ~min_residual ~with_absorbers clusters =
   let arr = Array.of_list clusters in
   let cmp a b =
     let c = compare (Cluster.size a) (Cluster.size b) in
@@ -233,6 +283,7 @@ let consolidate ~min_residual clusters =
   Array.sort cmp arr;
   let n = Array.length arr in
   let kept = Array.make n true in
+  let dismissed = ref [] in
   for i = 0 to n - 1 do
     let cover =
       let acc = Bitset.create (Bitset.capacity (Cluster.members arr.(i))) in
@@ -242,15 +293,34 @@ let consolidate ~min_residual clusters =
       acc
     in
     let residual = Bitset.diff_cardinal (Cluster.members arr.(i)) cover in
-    if residual < min_residual then kept.(i) <- false
+    if residual < min_residual then begin
+      kept.(i) <- false;
+      (* Provenance for the journal: which still-alive clusters held the
+         dismissed cluster's members at the moment of dismissal. Only
+         worth the member intersections when someone is listening. *)
+      let absorbers =
+        if not with_absorbers then []
+        else begin
+          let acc = ref [] in
+          for j = n - 1 downto 0 do
+            if
+              j <> i && kept.(j)
+              && Bitset.inter_cardinal (Cluster.members arr.(i)) (Cluster.members arr.(j)) > 0
+            then acc := Cluster.id arr.(j) :: !acc
+          done;
+          List.sort compare !acc
+        end
+      in
+      dismissed := (Cluster.id arr.(i), Cluster.size arr.(i), absorbers) :: !dismissed
+    end
   done;
-  let retained = ref [] and dropped = ref 0 in
+  let retained = ref [] in
   for i = n - 1 downto 0 do
-    if kept.(i) then retained := arr.(i) :: !retained else incr dropped
+    if kept.(i) then retained := arr.(i) :: !retained
   done;
   (* Restore id order for deterministic downstream iteration. *)
   let retained = List.sort (fun a b -> compare (Cluster.id a) (Cluster.id b)) !retained in
-  (retained, !dropped)
+  (retained, List.rev !dismissed)
 
 let scaled_config ?(base = default_config) ~expected_cluster_size () =
   if expected_cluster_size < 1 then invalid_arg "Cluseq.scaled_config";
@@ -296,6 +366,15 @@ let run ?(config = default_config) db =
   let lbg = Seq_database.log_background db in
   Similarity.validate_log_background lbg;
   let rng = Rng.create cfg.seed in
+  if Obs.Journal.is_enabled () then
+    Obs.Journal.emit "run.start" (fun () ->
+        [
+          ("sequences", Bench_json.Num (float_of_int n));
+          ("k_init", Bench_json.Num (float_of_int cfg.k_init));
+          ("t_init", Bench_json.Num cfg.t_init);
+          ("seed", Bench_json.Num (float_of_int cfg.seed));
+          ("max_iterations", Bench_json.Num (float_of_int cfg.max_iterations));
+        ]);
   let threshold = Threshold.create ~t_init:cfg.t_init in
   let min_residual = match cfg.min_residual with Some v -> v | None -> cfg.significance in
   let clusters = ref [] in
@@ -335,7 +414,7 @@ let run ?(config = default_config) db =
         end
       in
       let k_n = min k_n (List.length unclustered) in
-      generate_new_clusters cfg db rng ~next_id:!next_id ~clusters:!clusters
+      generate_new_clusters cfg db rng ~iter ~next_id:!next_id ~clusters:!clusters
         ~unclustered ~k_n
     in
     next_id := !next_id + List.length fresh;
@@ -364,8 +443,12 @@ let run ?(config = default_config) db =
        afresh: re-inserting stable members every iteration would inflate
        counts without information, making member similarities (and then
        the threshold valley) grow without bound. *)
-    let new_best, new_assignments, samples, census0 =
+    let new_best, new_assignments, samples, census0, member_scores, pending_journal =
       phase 1 @@ fun () ->
+      (* Hoisted journal/drift gates: one bool each for the whole pass, so
+         the disabled path adds no closure allocation per scored pair. *)
+      let jrn = Obs.Journal.is_enabled () in
+      let drift_on = jrn || Obs.Metrics.is_enabled () in
       let prev_members = Hashtbl.create 16 in
       List.iter
         (fun cl -> Hashtbl.replace prev_members (Cluster.id cl) (Bitset.copy (Cluster.members cl)))
@@ -416,6 +499,9 @@ let run ?(config = default_config) db =
          count, maintained whether or not metrics are enabled. *)
       let rescores = Array.make k 0 in
       let joined = ref 0 in
+      let fresh_joins = Array.make k 0 in
+      let member_scores = Array.make k [] in
+      let pending = ref [] in
       let samples = ref [] and n_samples = ref 0 in
       let log_t = Threshold.log_t threshold in
       Array.iter
@@ -437,6 +523,7 @@ let run ?(config = default_config) db =
               end;
               if r.log_sim >= log_t then begin
                 incr joined;
+                if drift_on then member_scores.(ci) <- r.log_sim :: member_scores.(ci);
                 let was_member =
                   match Hashtbl.find_opt prev_members (Cluster.id cl) with
                   | Some ms -> Bitset.mem ms sid
@@ -445,10 +532,18 @@ let run ?(config = default_config) db =
                 if was_member then Cluster.add_member cl sid
                 else begin
                   Cluster.absorb cl ~seq_id:sid s r;
-                  dirty.(ci) <- true
+                  dirty.(ci) <- true;
+                  fresh_joins.(ci) <- fresh_joins.(ci) + 1;
+                  if jrn then pending := Ev_joined (sid, Cluster.id cl, r.log_sim) :: !pending
                 end;
                 new_assignments.(sid) <- Cluster.id cl :: new_assignments.(sid)
-              end;
+              end
+              else if
+                jrn
+                && (match Hashtbl.find_opt prev_members (Cluster.id cl) with
+                   | Some ms -> Bitset.mem ms sid
+                   | None -> false)
+              then pending := Ev_left (sid, Cluster.id cl, r.log_sim) :: !pending;
               (match new_best.(sid) with
               | Some (_, b) when b >= r.log_sim -> ()
               | _ ->
@@ -456,6 +551,12 @@ let run ?(config = default_config) db =
             scores.(sid))
         order;
       Array.iteri (fun i l -> new_assignments.(i) <- List.rev l) new_assignments;
+      if jrn then
+        Array.iteri
+          (fun ci cl ->
+            if fresh_joins.(ci) > 0 then
+              pending := Ev_grew (Cluster.id cl, fresh_joins.(ci), Cluster.size cl) :: !pending)
+          clusters_arr;
       (match (!auditor, snapshot) with
       | Some a, Some snap ->
           a.on_recluster snap
@@ -476,14 +577,64 @@ let run ?(config = default_config) db =
             Array.mapi (fun ci cl -> (Cluster.id cl, n + rescores.(ci))) clusters_arr;
         }
       in
-      (new_best, new_assignments, !samples, census0)
+      ( new_best,
+        new_assignments,
+        !samples,
+        census0,
+        Array.mapi (fun ci cl -> (Cluster.id cl, member_scores.(ci))) clusters_arr,
+        List.rev !pending )
     in
+    (* Write the scan's deferred journal events now that its timer has
+       stopped — still this domain, still scan order, so the journal is
+       unchanged except for timestamps. *)
+    if pending_journal <> [] then begin
+      let log_t = Threshold.log_t threshold in
+      let num v = Bench_json.Num v in
+      let fi = float_of_int in
+      List.iter
+        (function
+          | Ev_joined (sid, cid, log_sim) ->
+              Obs.Journal.emit "seq.joined" (fun () ->
+                  [
+                    ("iter", num (fi iter)); ("seq", num (fi sid)); ("cluster", num (fi cid));
+                    ("log_sim", num log_sim); ("log_t", num log_t);
+                  ])
+          | Ev_left (sid, cid, log_sim) ->
+              Obs.Journal.emit "seq.left" (fun () ->
+                  [
+                    ("iter", num (fi iter)); ("seq", num (fi sid)); ("cluster", num (fi cid));
+                    ("log_sim", num log_sim); ("log_t", num log_t);
+                  ])
+          | Ev_grew (cid, fresh, size) ->
+              Obs.Journal.emit "cluster.grew" (fun () ->
+                  [
+                    ("iter", num (fi iter)); ("cluster", num (fi cid));
+                    ("fresh", num (fi fresh)); ("size", num (fi size));
+                  ]))
+        pending_journal
+    end;
     (* --- 3. consolidation --- *)
     let dropped =
       phase 2 @@ fun () ->
-      let retained, dropped =
-        if cfg.consolidate then consolidate ~min_residual !clusters else (!clusters, 0)
+      let jrn = Obs.Journal.is_enabled () in
+      let retained, dismissed =
+        if cfg.consolidate then consolidate ~min_residual ~with_absorbers:jrn !clusters
+        else (!clusters, [])
       in
+      let dropped = List.length dismissed in
+      if jrn then
+        List.iter
+          (fun (id, size, absorbers) ->
+            Obs.Journal.emit "cluster.dismissed" (fun () ->
+                [
+                  ("iter", Bench_json.Num (float_of_int iter));
+                  ("cluster", Bench_json.Num (float_of_int id));
+                  ("size", Bench_json.Num (float_of_int size));
+                  ( "absorbed_by",
+                    Bench_json.Arr
+                      (List.map (fun a -> Bench_json.Num (float_of_int a)) absorbers) );
+                ]))
+          dismissed;
       clusters := retained;
       (* Strip memberships of dismissed clusters. Alive ids go into a
          hash set first: filtering each assignment list against an alive
@@ -503,7 +654,18 @@ let run ?(config = default_config) db =
     | None -> ());
     (* --- 4. threshold adjustment --- *)
     phase 3 (fun () ->
-        if cfg.adjust_threshold then Threshold.adjust threshold (Array.of_list samples));
+        if cfg.adjust_threshold then begin
+          let old_t = Threshold.linear_t threshold in
+          Threshold.adjust threshold (Array.of_list samples);
+          if Obs.Journal.is_enabled () then
+            Obs.Journal.emit "threshold.adjusted" (fun () ->
+                [
+                  ("iter", Bench_json.Num (float_of_int iter));
+                  ("old_t", Bench_json.Num old_t);
+                  ("new_t", Bench_json.Num (Threshold.linear_t threshold));
+                  ("frozen", Bench_json.Bool (Threshold.frozen threshold));
+                ])
+        end);
     (* --- 5. convergence test --- *)
     let memberships, changes, stable =
       phase 4 @@ fun () ->
@@ -556,6 +718,102 @@ let run ?(config = default_config) db =
     Obs.Metrics.incr ~by:census.dirty_rescores m_dirty_rescores;
     Obs.Metrics.incr ~by:changes m_assignments_changed;
     Obs.Metrics.set g_wasted_ratio (wasted_pair_ratio census);
+    (* --- drift telemetry --- *)
+    (* Quality gauges for this iteration, computed outside the phase
+       timers (so [reclustering_s] is never charged for them) and only
+       when someone is listening. Every input is a deterministic
+       function of the serial model state, so journaled drift records
+       are bit-identical at any domain count. *)
+    let drift =
+      let jrn = Obs.Journal.is_enabled () in
+      if not (jrn || Obs.Metrics.is_enabled ()) then None
+      else begin
+        let live = !clusters in
+        let k_live = List.length live in
+        let churn = if n = 0 then 0.0 else float_of_int changes /. float_of_int n in
+        let ages = List.map (fun cl -> iter - Cluster.born cl) live in
+        let mean_age =
+          if k_live = 0 then 0.0
+          else float_of_int (List.fold_left ( + ) 0 ages) /. float_of_int k_live
+        in
+        (* Pairwise model divergence is quadratic in clusters, so cap
+           the panel at the first 8 live clusters (id order — the
+           longest-lived, hence most informative, models). *)
+        let panel = List.filteri (fun i _ -> i < 8) live in
+        let kls =
+          let rec pairs = function
+            | [] -> []
+            | a :: rest ->
+                List.map
+                  (fun b -> Divergence.kl_symmetric (Cluster.pst a) (Cluster.pst b))
+                  rest
+                @ pairs rest
+          in
+          pairs panel
+        in
+        let mean_kl =
+          match kls with
+          | [] -> 0.0
+          | _ -> List.fold_left ( +. ) 0.0 kls /. float_of_int (List.length kls)
+        in
+        let alive = Hashtbl.create (2 * k_live) in
+        List.iter (fun cl -> Hashtbl.replace alive (Cluster.id cl) ()) live;
+        let live_scores =
+          List.filter (fun (id, _) -> Hashtbl.mem alive id) (Array.to_list member_scores)
+        in
+        let scored_members =
+          List.fold_left (fun acc (_, ss) -> acc + List.length ss) 0 live_scores
+        in
+        let score_sum =
+          List.fold_left (fun acc (_, ss) -> List.fold_left ( +. ) acc ss) 0.0 live_scores
+        in
+        let mean_score =
+          if scored_members = 0 then 0.0 else score_sum /. float_of_int scored_members
+        in
+        Obs.Metrics.observe h_churn_rate churn;
+        List.iter (fun a -> Obs.Metrics.observe h_cluster_age (float_of_int a)) ages;
+        List.iter (Obs.Metrics.observe h_intercluster_kl) kls;
+        List.iter
+          (fun (_, ss) -> List.iter (Obs.Metrics.observe h_member_score) ss)
+          live_scores;
+        if jrn then
+          Obs.Journal.emit "iteration.drift" (fun () ->
+              let sketch (id, ss) =
+                let arr = Array.of_list ss in
+                let points =
+                  if Array.length arr = 0 then []
+                  else
+                    Histogram.of_samples ~n_buckets:8 arr
+                    |> Histogram.to_points |> Array.to_list
+                    |> List.map (fun (c, v) ->
+                           Bench_json.Arr [ Bench_json.Num c; Bench_json.Num v ])
+                in
+                Bench_json.Obj
+                  [
+                    ("cluster", Bench_json.Num (float_of_int id));
+                    ("n", Bench_json.Num (float_of_int (Array.length arr)));
+                    ("points", Bench_json.Arr points);
+                  ]
+              in
+              [
+                ("iter", Bench_json.Num (float_of_int iter));
+                ("clusters", Bench_json.Num (float_of_int k_live));
+                ("churn_rate", Bench_json.Num churn);
+                ("mean_cluster_age", Bench_json.Num mean_age);
+                ("mean_intercluster_kl", Bench_json.Num mean_kl);
+                ("mean_member_score", Bench_json.Num mean_score);
+                ("score_sketches", Bench_json.Arr (List.map sketch live_scores));
+              ]);
+        Some
+          {
+            churn_rate = churn;
+            mean_cluster_age = mean_age;
+            mean_intercluster_kl = mean_kl;
+            mean_member_score = mean_score;
+            scored_members;
+          }
+      end
+    in
     Log.debug (fun m ->
         m
           "iter %d: new=%d consolidated=%d clusters=%d unclustered=%d t=%.4g changes=%d \
@@ -584,6 +842,7 @@ let run ?(config = default_config) db =
                  convergence_s = phase_s.(4);
                }
            else None);
+        drift;
       }
       :: !history;
     if stable then converged := true
@@ -613,6 +872,17 @@ let run ?(config = default_config) db =
   let outliers =
     List.filter (fun i -> !assignments.(i) = []) (List.init n Fun.id)
   in
+  if Obs.Journal.is_enabled () then begin
+    Obs.Journal.emit "run.end" (fun () ->
+        [
+          ("clusters", Bench_json.Num (float_of_int (List.length !clusters)));
+          ("iterations", Bench_json.Num (float_of_int !iterations));
+          ("final_t", Bench_json.Num (Threshold.linear_t threshold));
+          ("outliers", Bench_json.Num (float_of_int (List.length outliers)));
+        ]);
+    (* A run boundary is a natural sync point for offline readers. *)
+    Obs.Journal.flush ()
+  end;
   {
     clusters =
       Array.of_list

@@ -24,7 +24,21 @@
       of the similarity histogram.
 
     The process stops when an iteration leaves both the set of clusters and
-    every membership unchanged, or after [max_iterations]. *)
+    every membership unchanged, or after [max_iterations].
+
+    {b Decision provenance.} When {!Obs.Journal} is enabled, {!run}
+    journals every model decision from its serial sections (so records
+    are deterministic at any domain count): [run.start]/[run.end],
+    [cluster.seeded]/[cluster.grew]/[cluster.froze]/[cluster.dismissed]
+    (with the absorbing clusters), [threshold.adjusted] (old/new [t]),
+    [seq.joined]/[seq.left] (with the deciding log-similarity against
+    the threshold), and one [iteration.drift] quality record per
+    iteration. Membership events decided inside the timed reclustering
+    scan are recorded as plain tuples and written (in scan order) right
+    after the phase timer stops, so journaling does not distort the
+    [reclustering_s] it documents. When the journal is disabled every
+    hook costs one [bool ref] read — the same contract as the
+    {!auditor}. *)
 
 type config = {
   k_init : int;  (** Initial number of clusters [k] (paper default 1). *)
@@ -121,6 +135,33 @@ val wasted_pair_ratio : scan_census -> float
     scored). High values mean the all-pairs scan is mostly wasted work
     — the quantity index-first pruning (SEQR) targets. *)
 
+type drift = {
+  churn_rate : float;
+      (** Fraction of sequences whose membership set changed this
+          iteration ([membership_changes / n]) — the primary
+          stability gauge: it should decay toward 0 as the clustering
+          converges. *)
+  mean_cluster_age : float;
+      (** Mean iterations-since-seeding over live clusters. Persistently
+          low values mean clusters churn (seeded and dismissed) instead
+          of maturing. *)
+  mean_intercluster_kl : float;
+      (** Mean pairwise {!Divergence.kl_symmetric} over (a panel of up
+          to 8 of) the live cluster models. Falling values mean the
+          models are blending together. *)
+  mean_member_score : float;
+      (** Mean log-similarity over every (member, cluster) join of the
+          reclustering pass, restricted to clusters that survived
+          consolidation. *)
+  scored_members : int;  (** Number of joins behind [mean_member_score]. *)
+}
+(** Per-iteration clustering-quality gauges. Every input is a
+    deterministic function of the serial model state, so values are
+    bit-identical at any domain count. Also published to the
+    [cluseq.drift.*] histograms of {!Obs.Metrics} and journaled as
+    [iteration.drift] records (with per-cluster score sketches) when
+    {!Obs.Journal} is enabled. *)
+
 type iteration_stats = {
   iteration : int;  (** 1-based iteration number. *)
   new_clusters : int;  (** Clusters seeded this iteration ({m k_n}). *)
@@ -135,6 +176,10 @@ type iteration_stats = {
           [Obs.Metrics] was enabled during the run, so that disabled
           runs pay no clock reads and results stay structurally equal
           across identically-seeded runs. *)
+  drift : drift option;
+      (** Quality gauges; [Some] when [Obs.Metrics] or {!Obs.Journal}
+          was enabled — computed outside the phase timers, so
+          [timings] never charges for them. *)
 }
 
 type result = {

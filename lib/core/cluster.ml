@@ -1,5 +1,6 @@
 type t = {
   id : int;
+  born : int;
   pst : Pst.t;
   members : Bitset.t;
   (* One compiled automaton per frozen tree: built at pass start
@@ -10,12 +11,13 @@ type t = {
 
 let m_absorbs = Obs.Metrics.counter "cluster.absorbs"
 
-let create ~id ~capacity cfg seed =
+let create ~id ?(born = 0) ~capacity cfg seed =
   let pst = Pst.create cfg in
   Pst.insert_sequence pst seed;
-  { id; pst; members = Bitset.create capacity; compiled = None }
+  { id; born; pst; members = Bitset.create capacity; compiled = None }
 
 let id t = t.id
+let born t = t.born
 let pst t = t.pst
 let members t = t.members
 let size t = Bitset.cardinal t.members
@@ -26,7 +28,18 @@ let clear_members t = Bitset.clear t.members
 let compile t =
   match t.compiled with
   | Some _ -> ()
-  | None -> if Psa.enabled () then t.compiled <- Some (Psa.compile t.pst)
+  | None ->
+      if Psa.enabled () then begin
+        let psa = Psa.compile t.pst in
+        t.compiled <- Some psa;
+        if Obs.Journal.is_enabled () then
+          Obs.Journal.emit "cluster.froze" (fun () ->
+              [
+                ("cluster", Bench_json.Num (float_of_int t.id));
+                ("n_states", Bench_json.Num (float_of_int (Psa.n_states psa)));
+                ("size", Bench_json.Num (float_of_int (Bitset.cardinal t.members)));
+              ])
+      end
 
 let similarity t ~log_background s =
   match t.compiled with

@@ -4,15 +4,19 @@
 type t
 (** A mutable cluster. *)
 
-val create : id:int -> capacity:int -> Pst.config -> Sequence.t -> t
+val create : id:int -> ?born:int -> capacity:int -> Pst.config -> Sequence.t -> t
 (** [create ~id ~capacity cfg seed] is a fresh cluster initialized from one
     seed sequence (paper Sec. 4.1): its PST is built from the seed and the
     seed is not yet recorded as a member (membership is decided by the
     reclustering pass). [capacity] is the database size, fixing the member
-    bitset width. *)
+    bitset width. [born] (default 0) records the iteration that seeded the
+    cluster, for the drift telemetry's age histogram. *)
 
 val id : t -> int
 (** Stable identifier assigned at creation. *)
+
+val born : t -> int
+(** Iteration at which the cluster was seeded (0 for initial clusters). *)
 
 val pst : t -> Pst.t
 (** The cluster's probabilistic suffix tree. *)
@@ -37,7 +41,9 @@ val compile : t -> unit
     current PST, if not already cached and {!Psa.enabled}. Called on the
     main domain at the start of every read-only scoring sweep; any later
     {!absorb} drops the cache, so the automaton can never go stale.
-    Idempotent and cheap when the cache is already present. *)
+    Idempotent and cheap when the cache is already present. An actual
+    (re)build journals a [cluster.froze] event when {!Obs.Journal} is
+    enabled. *)
 
 val similarity : t -> log_background:float array -> Sequence.t -> Similarity.result
 (** {!Similarity.score} against this cluster's PST — via the compiled

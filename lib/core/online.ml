@@ -150,6 +150,12 @@ let mine t =
           let cl = { id = t.next_id; pst; absorbed = Array.length members; compiled = None } in
           refresh_compiled cl;
           t.clusters <- t.clusters @ [ cl ];
+          if Obs.Journal.is_enabled () then
+            Obs.Journal.emit "online.mined" (fun () ->
+                [
+                  ("cluster", Bench_json.Num (float_of_int cl.id));
+                  ("members", Bench_json.Num (float_of_int (Array.length members)));
+                ]);
           t.next_id <- t.next_id + 1;
           incr fresh
         end)
@@ -181,7 +187,10 @@ let feed t s =
       while Queue.length t.buffer > t.buffer_capacity do
         ignore (Queue.pop t.buffer);
         t.dropped_outliers <- t.dropped_outliers + 1;
-        Obs.Metrics.incr m_dropped_outliers
+        Obs.Metrics.incr m_dropped_outliers;
+        if Obs.Journal.is_enabled () then
+          Obs.Journal.emit "online.dropped" (fun () ->
+              [ ("fed", Bench_json.Num (float_of_int t.fed)) ])
       done;
       if Queue.length t.buffer >= t.mine_at then ignore (mine t);
       None
@@ -202,6 +211,16 @@ let feed t s =
           | Some (_, b) when b >= r.log_sim -> ()
           | _ -> best := Some (cl.id, r.log_sim))
         joined;
+      (match (!best, Obs.Journal.is_enabled ()) with
+      | Some (id, score), true ->
+          Obs.Journal.emit "online.assigned" (fun () ->
+              [
+                ("fed", Bench_json.Num (float_of_int t.fed));
+                ("cluster", Bench_json.Num (float_of_int id));
+                ("log_sim", Bench_json.Num score);
+                ("matches", Bench_json.Num (float_of_int (List.length joined)));
+              ])
+      | _ -> ());
       Option.map fst !best
 
 let classify t s =

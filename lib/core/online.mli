@@ -17,6 +17,11 @@
       buffer by [buffer_capacity] (oldest unmatched sequences are dropped
       and counted as outliers).
 
+    When {!Obs.Journal} is enabled the stream's decisions are journaled
+    as [online.assigned] (best cluster + deciding score),
+    [online.mined], and [online.dropped] records, alongside the batch
+    events of the embedded {!Cluseq.run} during mining.
+
     Determinism: given the same config and feed order, the state evolution
     is reproducible. *)
 

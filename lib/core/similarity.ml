@@ -100,6 +100,71 @@ let score_psa psa ~log_background s =
     go 0 0 neg_infinity neg_infinity 0 0 0
   end
 
+type attribution = { attr_result : result; attr_xs : float array; attr_depths : int array }
+
+(* [score_psa] with per-position provenance: the recursion below is a
+   verbatim copy of the one above plus two array stores per symbol, so
+   every float operation happens in the same order on the same values —
+   the totals are bit-for-bit equal (property-tested). Kept separate
+   rather than folding the stores into the hot scan: reclustering calls
+   [score_psa] n×k times per iteration and must not allocate two arrays
+   per pair. *)
+let score_attributed psa ~log_background s =
+  let l = Array.length s in
+  Obs.Metrics.incr m_calls;
+  Obs.Metrics.incr ~by:l m_symbols_scanned;
+  if l = 0 then { attr_result = empty_result; attr_xs = [||]; attr_depths = [||] }
+  else begin
+    let n = Psa.alphabet_size psa in
+    if Array.length log_background < n then
+      invalid_arg "Similarity.score_attributed: log_background shorter than the alphabet";
+    let trans = Psa.transitions psa in
+    let emit = Psa.emissions psa in
+    let xs = Array.make l 0.0 in
+    let depths = Array.make l 0 in
+    let rec go i state y z start blo bhi =
+      if i >= l then
+        {
+          attr_result = { log_sim = z; seg_lo = blo; seg_hi = bhi };
+          attr_xs = xs;
+          attr_depths = depths;
+        }
+      else begin
+        let sym = Array.unsafe_get s i in
+        if sym < 0 || sym >= n then
+          invalid_arg "Similarity.score_attributed: symbol outside the compiled alphabet";
+        let idx = (state * n) + sym in
+        let x = Array.unsafe_get emit idx -. Array.unsafe_get log_background sym in
+        Array.unsafe_set xs i x;
+        Array.unsafe_set depths i (Psa.prediction_depth psa state);
+        let extend = y >= 0.0 in
+        let y' = if extend then y +. x else x in
+        let start' = if extend then start else i in
+        let state' = Array.unsafe_get trans idx in
+        if y' > z then go (i + 1) state' y' y' start' start' i
+        else go (i + 1) state' y' z start' blo bhi
+      end
+    in
+    go 0 0 neg_infinity neg_infinity 0 0 0
+  end
+
+(* Kadane never resets inside a winning segment (a reset would have moved
+   [seg_lo]), so within [seg_lo .. seg_hi] the accumulator evolved as
+   [y = xs.(lo)] then [y <- y +. xs.(i)] left to right. Replaying exactly
+   that fold reproduces [log_sim] bit-for-bit — this is the equality the
+   qcheck property asserts, and what makes the printed contributions an
+   honest decomposition of the score. *)
+let attribution_segment_sum a =
+  let { seg_lo; seg_hi; _ } = a.attr_result in
+  if seg_lo < 0 || seg_hi < seg_lo then neg_infinity
+  else begin
+    let acc = ref a.attr_xs.(seg_lo) in
+    for i = seg_lo + 1 to seg_hi do
+      acc := !acc +. a.attr_xs.(i)
+    done;
+    !acc
+  end
+
 (* Per-position X_i via the automaton; mirrors [xs] exactly (an explicit
    loop because the scan threads the state left to right). *)
 let xs_psa psa ~log_background s =

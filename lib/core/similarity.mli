@@ -39,6 +39,38 @@ val xs_psa : Psa.t -> log_background:float array -> Sequence.t -> float array
 (** The per-position {m X_i} profile via the automaton; bit-for-bit equal
     to {!xs} on the source tree. *)
 
+type attribution = {
+  attr_result : result;  (** Exactly what {!score_psa} would return. *)
+  attr_xs : float array;
+      (** Per-position log-odds contribution
+          {m X_i = \log P_S(s_i \mid ctx) - \log p(s_i)}: how much each
+          symbol argues for (positive) or against (negative) the
+          cluster. *)
+  attr_depths : int array;
+      (** Per position, the length of the context the PST actually used
+          to predict symbol [i] (its prediction node's depth) — 0 means
+          the empty context / root estimate. *)
+}
+(** The decomposition behind one similarity score — the paper's whole
+    case for the measure is that it {e has} such a decomposition
+    (Sec. 2: per-symbol conditional-probability ratios against the
+    background), so surfacing it is what makes [cluseq explain]
+    possible. *)
+
+val score_attributed : Psa.t -> log_background:float array -> Sequence.t -> attribution
+(** [score_attributed psa ~log_background s] is {!score_psa} plus the
+    per-position provenance above. Same float operations in the same
+    order, so [attr_result] is bit-for-bit equal to [score_psa]'s
+    result, and {!attribution_segment_sum} rebuilds [log_sim] exactly
+    (property-tested). Two O(l) arrays per call — use {!score_psa} in
+    scans, this only when explaining. *)
+
+val attribution_segment_sum : attribution -> float
+(** Left fold of [attr_xs] over the winning segment
+    [seg_lo .. seg_hi], replaying the scan's own accumulation order —
+    equals [attr_result.log_sim] {e bit-for-bit}, not merely
+    approximately ([neg_infinity] when there is no segment). *)
+
 val validate_log_background : float array -> unit
 (** Rejects (with [Invalid_argument]) any entry that is not a finite
     [log p <= 0] — i.e. zero-probability, NaN, or [p > 1] background

@@ -78,6 +78,41 @@ let to_string json =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(* Single-line rendering for JSONL records (Obs.Journal): no padding, no
+   trailing newline — the writer appends its own '\n' per record. *)
+let to_compact_string json =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Num v -> Buffer.add_string b (num_to_string v)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | Arr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            go item)
+          items;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\":";
+            go v)
+          fields;
+        Buffer.add_char b '}'
+  in
+  go json;
+  Buffer.contents b
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)

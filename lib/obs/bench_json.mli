@@ -1,10 +1,16 @@
 (** A minimal JSON value type, parser, and printer for the benchmark
-    telemetry files ([BENCH_*.json]).
+    telemetry files ([BENCH_*.json]) and the decision-provenance journal
+    ([Obs.Journal]'s JSONL records).
 
     Self-contained on purpose: the repo carries no JSON dependency, and
     the bench schema (Bench_report) only needs objects, arrays, strings,
     numbers, booleans, and null. Numbers are held as [float] (as in
-    JSON itself); integral values print without a fractional part. *)
+    JSON itself); integral values print without a fractional part.
+
+    Lives in [lib/obs] (not [lib/benchtel]) so the journal can encode
+    events without a dependency cycle; every library is [wrapped false],
+    so the module keeps its global [Bench_json] name for the bench
+    telemetry. *)
 
 type t =
   | Null
@@ -17,6 +23,10 @@ type t =
 val to_string : t -> string
 (** Render with two-space indentation and a trailing newline. Non-finite
     numbers render as [null] (JSON has no Inf/NaN literal). *)
+
+val to_compact_string : t -> string
+(** Render on a single line with no whitespace and no trailing newline —
+    one JSONL record. Same number formatting as {!to_string}. *)
 
 val parse : string -> (t, string) result
 (** Parse one JSON document (trailing whitespace allowed). [Error msg]

@@ -409,6 +409,137 @@ module Recorder = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Decision-provenance journal                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = struct
+  (* Append-only JSONL writer for model decisions. Single-writer by
+     contract: the pipeline only emits from its serial main-domain
+     sections, so plain refs suffice (same discipline as the auditor
+     hook in Cluseq). Records are buffered and flushed in batches; a
+     failing flush drops the whole batch and counts it, mirroring the
+     Recorder's wrap accounting — observability must never abort the
+     run it observes. *)
+
+  type state = {
+    oc : out_channel;
+    path : string;
+    buf : Buffer.t;
+    mutable buffered : int;  (* records currently sitting in [buf] *)
+    mutable seq : int;  (* next record ordinal in this file *)
+  }
+
+  let flush_threshold = 64 * 1024
+  let enabled = ref false
+  let state : state option ref = ref None
+
+  (* Survive [close] so CLI/bench exit paths can still report totals. *)
+  let n_written = ref 0
+  let n_dropped = ref 0
+
+  let is_enabled () = !enabled
+
+  let flush_state st =
+    if st.buffered > 0 then begin
+      (try
+         output_string st.oc (Buffer.contents st.buf);
+         Stdlib.flush st.oc;
+         n_written := !n_written + st.buffered
+       with Sys_error _ -> n_dropped := !n_dropped + st.buffered);
+      Buffer.clear st.buf;
+      st.buffered <- 0
+    end
+
+  let close () =
+    match !state with
+    | None -> ()
+    | Some st ->
+        enabled := false;
+        state := None;
+        flush_state st;
+        (try close_out st.oc with Sys_error _ -> ())
+
+  let open_file path =
+    close ();
+    let oc = open_out path in
+    state := Some { oc; path; buf = Buffer.create (flush_threshold + 4096); buffered = 0; seq = 0 };
+    enabled := true
+
+  let current_path () = Option.map (fun st -> st.path) !state
+
+  let emit event fields =
+    if !enabled then
+      match !state with
+      | None -> ()
+      | Some st ->
+          (* ts_ns as a JSON number: exact below 2^53 ns of uptime
+             (~104 days), which covers any run we journal. *)
+          (* Envelope keys are chosen not to collide with event fields
+             ("rec", not "seq" — events about sequences carry a "seq"
+             field of their own). *)
+          let record =
+            Bench_json.Obj
+              (("rec", Bench_json.Num (float_of_int st.seq))
+              :: ("ts_ns", Bench_json.Num (Int64.to_float (Timer.now_ns ())))
+              :: ("event", Bench_json.Str event)
+              :: fields ())
+          in
+          st.seq <- st.seq + 1;
+          Buffer.add_string st.buf (Bench_json.to_compact_string record);
+          Buffer.add_char st.buf '\n';
+          st.buffered <- st.buffered + 1;
+          if Buffer.length st.buf >= flush_threshold then flush_state st
+
+  let flush () = match !state with None -> () | Some st -> flush_state st
+  let events_written () = !n_written
+  let dropped () = !n_dropped
+
+  (* ---- reading journals back ---- *)
+
+  type entry = {
+    j_seq : int;
+    j_ts_ns : int64;
+    j_event : string;
+    j_fields : (string * Bench_json.t) list;
+  }
+
+  let entry_of_json json =
+    match
+      ( Option.bind (Bench_json.member "rec" json) Bench_json.to_int,
+        Option.bind (Bench_json.member "ts_ns" json) Bench_json.to_float,
+        Option.bind (Bench_json.member "event" json) Bench_json.to_str )
+    with
+    | Some seq, Some ts, Some event ->
+        let fields =
+          List.filter
+            (fun (k, _) -> k <> "rec" && k <> "ts_ns" && k <> "event")
+            (Bench_json.obj_items json)
+        in
+        Some { j_seq = seq; j_ts_ns = Int64.of_float ts; j_event = event; j_fields = fields }
+    | _ -> None
+
+  let read_file path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | contents ->
+        let lines = String.split_on_char '\n' contents in
+        let rec go lineno acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest ->
+              if String.trim line = "" then go (lineno + 1) acc rest
+              else begin
+                match Bench_json.parse line with
+                | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+                | Ok json -> (
+                    match entry_of_json json with
+                    | None -> Error (Printf.sprintf "line %d: not a journal record" lineno)
+                    | Some e -> go (lineno + 1) (e :: acc) rest)
+              end
+        in
+        go 1 [] lines
+end
+
+(* ------------------------------------------------------------------ *)
 (* Runtime_events bridge                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -686,15 +817,23 @@ module Export = struct
         match e with
         | Metrics.Histogram h ->
             comma first;
+            (* An empty histogram has no rank-q observation: omit the
+               quantile keys rather than fabricate "null" estimates —
+               consumers can then distinguish "no data" from "quantile
+               happens to be unrepresentable". *)
+            let quantiles =
+              if Metrics.histogram_count h = 0 then ""
+              else
+                Printf.sprintf " \"p50\": %s, \"p95\": %s, \"p99\": %s,"
+                  (json_float (Metrics.quantile h 0.50))
+                  (json_float (Metrics.quantile h 0.95))
+                  (json_float (Metrics.quantile h 0.99))
+            in
             Buffer.add_string b
-              (Printf.sprintf
-                 "\n    \"%s\": { \"count\": %d, \"sum\": %s, \"p50\": %s, \"p95\": %s, \
-                  \"p99\": %s, \"buckets\": ["
+              (Printf.sprintf "\n    \"%s\": { \"count\": %d, \"sum\": %s,%s \"buckets\": ["
                  (json_escape name) (Metrics.histogram_count h)
                  (json_float (Metrics.histogram_sum h))
-                 (json_float (Metrics.quantile h 0.50))
-                 (json_float (Metrics.quantile h 0.95))
-                 (json_float (Metrics.quantile h 0.99)));
+                 quantiles);
             let bfirst = ref true in
             Array.iter
               (fun (le, count) ->

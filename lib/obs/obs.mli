@@ -239,6 +239,77 @@ module Recorder : sig
   (** Empty every ring (rings themselves are kept and reused). *)
 end
 
+(** Decision-provenance journal: a structured, append-only JSONL event
+    log of {e model} decisions — cluster lifecycle, per-sequence
+    assignment deltas, threshold moves, per-iteration drift — written by
+    the serial main-domain code of the pipeline (so records are
+    deterministic at any domain count, modulo timestamps).
+
+    {b Cost model.} Journaling is off until {!open_file}; a disabled
+    {!emit} call site costs one [bool ref] dereference and must be
+    guarded so its field thunk is never built (the hot-path pattern is
+    [if Obs.Journal.is_enabled () then Obs.Journal.emit ...], hoisting
+    the test out of inner loops). Enabled records are buffered (~64 KiB)
+    and flushed to the file in batches; write failures drop the batch
+    and are counted in {!dropped}, like {!Recorder} ring wraps — the
+    journal never aborts the run it is observing.
+
+    {b Record shape.} One JSON object per line:
+    [{"rec":N,"ts_ns":T,"event":"cluster.seeded",...fields}] — [rec] is
+    a 0-based ordinal, [ts_ns] the {!Timer.now_ns} monotonic timestamp,
+    [event] a dotted name, and the remaining fields event-specific
+    (encoded with [Bench_json]; field names must avoid the three
+    envelope keys). *)
+module Journal : sig
+  val open_file : string -> unit
+  (** [open_file path] truncates/creates [path] and starts journaling to
+      it (closing any previously open journal first). Raises [Sys_error]
+      if the file cannot be opened. *)
+
+  val is_enabled : unit -> bool
+  (** Whether a journal file is open. Call sites in loops should read
+      this once per pass and skip {!emit} entirely when false. *)
+
+  val current_path : unit -> string option
+  (** The open journal's file path, if any — lets a consumer (e.g.
+      [cluseq explain]) {!flush} and read back the journal it is
+      writing. *)
+
+  val emit : string -> (unit -> (string * Bench_json.t) list) -> unit
+  (** [emit event fields] appends one record. [fields] is a thunk so a
+      disabled journal never pays for field construction; it runs
+      synchronously when enabled. Main-domain only (the writer state is
+      unsynchronized); the pipeline only journals from its serial
+      sections. *)
+
+  val flush : unit -> unit
+  (** Force buffered records to the file (e.g. before reading it back
+      mid-process). *)
+
+  val close : unit -> unit
+  (** Flush, close the file, and disable journaling. Idempotent. *)
+
+  val events_written : unit -> int
+  (** Records emitted since the process started (across files). *)
+
+  val dropped : unit -> int
+  (** Records lost to write failures since the process started. *)
+
+  (** {1 Reading journals back} *)
+
+  type entry = {
+    j_seq : int;  (** Record ordinal within the file. *)
+    j_ts_ns : int64;  (** Monotonic emission timestamp. *)
+    j_event : string;  (** Event name, e.g. ["seq.joined"]. *)
+    j_fields : (string * Bench_json.t) list;
+        (** Event-specific fields (envelope keys stripped). *)
+  }
+
+  val read_file : string -> (entry list, string) result
+  (** Parse a journal back, oldest first. Blank lines are skipped;
+      [Error] names the first unparseable line. *)
+end
+
 (** Bridge from the stdlib [Runtime_events] tracing system: buffers GC
     begin/end (minor, major, slices, compactions) and domain-lifecycle
     events so the exporter can interleave them with recorder rings and
@@ -258,7 +329,10 @@ module Runtime_bridge : sig
       and before export. *)
 
   val stop : unit -> unit
-  (** Free the cursor and pause runtime event collection. *)
+  (** Free the cursor and pause runtime event collection. Idempotent:
+      stopping twice, or without ever having started, is a no-op (the
+      cursor is cleared before the runtime calls so a reentrant or
+      repeated stop can never double-free it). *)
 
   type kind = Begin | End | Instant
 
@@ -361,7 +435,9 @@ module Export : sig
   (** JSON object with ["counters"], ["gauges"], ["histograms"] (count,
       sum, [p50]/[p95]/[p99] quantile estimates, per-bucket
       [le]/count), and — when spans were recorded — ["spans"] (name,
-      duration_ns, children). *)
+      duration_ns, children). Empty histograms carry no quantile keys
+      at all (there is no rank-q observation to estimate — omitting
+      beats fabricating). *)
 
   val to_chrome_trace : unit -> string
   (** Chrome trace-format JSON (open at {:https://ui.perfetto.dev}):

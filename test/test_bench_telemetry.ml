@@ -73,8 +73,16 @@ let gc_delta ?(minor = 1e6) () =
     top_heap_words = 8192;
   }
 
-let experiment ?(id = "table2") ?(wall = 10.0) ?(cluseq_s = 8.0) ?(quality = Some ("accuracy", 0.82))
-    () =
+let drift ?(churn = 0.12) () =
+  {
+    Bench_report.churn_rate = churn;
+    cluster_age = 4.5;
+    intercluster_kl = 1.8;
+    member_score = 2.3;
+  }
+
+let experiment ?(id = "table2") ?(wall = 10.0) ?(cluseq_s = 8.0) ?drift:(dr = drift ())
+    ?(quality = Some ("accuracy", 0.82)) () =
   {
     Bench_report.id;
     wall_s = wall;
@@ -99,6 +107,7 @@ let experiment ?(id = "table2") ?(wall = 10.0) ?(cluseq_s = 8.0) ?(quality = Som
         dirty_rescores = 150;
         assignments_changed = 420;
       };
+    drift = dr;
     quality;
   }
 
@@ -312,6 +321,70 @@ let test_compare_flags_quality_drop () =
          v.Bench_compare.status = `Regression && v.Bench_compare.metric = "quality.accuracy")
        verdicts)
 
+let test_compare_flags_drift_shift () =
+  let base = report () in
+  let churned =
+    {
+      base with
+      experiments =
+        List.map
+          (fun (e : Bench_report.experiment) ->
+            if e.id = "table2" then
+              {
+                e with
+                drift =
+                  {
+                    e.drift with
+                    churn_rate = e.drift.churn_rate *. 2.0;
+                    member_score = e.drift.member_score *. 0.5;
+                  };
+              }
+            else e)
+          base.experiments;
+    }
+  in
+  let verdicts = compare_ok base churned in
+  let regressed m v =
+    v.Bench_compare.status = `Regression && v.Bench_compare.metric = m
+  in
+  Alcotest.(check bool) "doubled churn is a regression" true
+    (List.exists (regressed "drift.churn_rate") verdicts);
+  Alcotest.(check bool) "halved member score is a regression" true
+    (List.exists (regressed "drift.member_score") verdicts);
+  (* and the good directions read as improvements, not regressions *)
+  let calmer = compare_ok churned base in
+  Alcotest.(check bool) "reverse comparison has no drift regressions" true
+    (List.for_all
+       (fun v ->
+         v.Bench_compare.status <> `Regression
+         || not (String.length v.Bench_compare.metric >= 6
+                 && String.sub v.Bench_compare.metric 0 6 = "drift."))
+       calmer)
+
+let test_compare_skips_empty_drift () =
+  (* A base recorded before the drift gauges existed reads as all-zero:
+     no drift verdicts at all, so old baselines keep comparing. *)
+  let empty =
+    {
+      Bench_report.churn_rate = 0.0;
+      cluster_age = 0.0;
+      intercluster_kl = 0.0;
+      member_score = 0.0;
+    }
+  in
+  Alcotest.(check bool) "all-zero drift is empty" true (Bench_report.drift_is_empty empty);
+  Alcotest.(check bool) "measured drift is not empty" false
+    (Bench_report.drift_is_empty (drift ()));
+  let base = report ~experiments:[ experiment ~drift:empty () ] () in
+  let candidate = report ~experiments:[ experiment () ] () in
+  let verdicts = compare_ok base candidate in
+  Alcotest.(check bool) "no drift verdicts against a pre-drift base" true
+    (List.for_all
+       (fun v ->
+         not (String.length v.Bench_compare.metric >= 6
+              && String.sub v.Bench_compare.metric 0 6 = "drift."))
+       verdicts)
+
 let test_compare_noise_floor () =
   (* Tiny timings double but stay under the 50 ms floor: skipped, not
      flagged. *)
@@ -427,6 +500,8 @@ let () =
           Alcotest.test_case "identical pair passes" `Quick test_compare_identical;
           Alcotest.test_case "2x slowdown flagged" `Quick test_compare_flags_slowdown;
           Alcotest.test_case "quality drop flagged" `Quick test_compare_flags_quality_drop;
+          Alcotest.test_case "drift shift flagged" `Quick test_compare_flags_drift_shift;
+          Alcotest.test_case "empty drift base skipped" `Quick test_compare_skips_empty_drift;
           Alcotest.test_case "noise floor respected" `Quick test_compare_noise_floor;
           Alcotest.test_case "added/removed experiments tolerated" `Quick
             test_compare_tolerates_experiment_sets;

@@ -97,6 +97,43 @@ let test_quantiles () =
        false
      with Invalid_argument _ -> true)
 
+let test_quantile_edges () =
+  with_clean_obs @@ fun () ->
+  (* empty: every q is nan, not an exception and not a bogus 0 *)
+  let empty = Obs.Metrics.histogram ~buckets:[| 10.0 |] "test.quant_empty" in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "empty histogram q=%g -> nan" q)
+        true
+        (Float.is_nan (Obs.Metrics.quantile empty q)))
+    [ 0.0; 0.5; 1.0 ];
+  (* single sample: all quantiles land in its bucket, interpolated *)
+  let one = Obs.Metrics.histogram ~buckets:[| 10.0; 20.0 |] "test.quant_one" in
+  Obs.Metrics.observe one 15.0;
+  Alcotest.(check (float 1e-9)) "single sample q=0 is bucket lower edge" 10.0
+    (Obs.Metrics.quantile one 0.0);
+  Alcotest.(check (float 1e-9)) "single sample p50 is bucket midpoint" 15.0
+    (Obs.Metrics.quantile one 0.5);
+  Alcotest.(check (float 1e-9)) "single sample q=1 is bucket upper edge" 20.0
+    (Obs.Metrics.quantile one 1.0);
+  (* all mass in one interior bucket: quantiles interpolate linearly
+     across that bucket and never leave it *)
+  let mass = Obs.Metrics.histogram ~buckets:[| 10.0; 20.0; 30.0 |] "test.quant_mass" in
+  for _ = 1 to 10 do Obs.Metrics.observe mass 15.0 done;
+  Alcotest.(check (float 1e-9)) "all-mass p50" 15.0 (Obs.Metrics.quantile mass 0.5);
+  Alcotest.(check (float 1e-9)) "all-mass p95" 19.5 (Obs.Metrics.quantile mass 0.95);
+  Alcotest.(check (float 1e-9)) "all-mass q=1 stays at bucket edge" 20.0
+    (Obs.Metrics.quantile mass 1.0);
+  let prev = ref neg_infinity in
+  List.iter
+    (fun q ->
+      let v = Obs.Metrics.quantile mass q in
+      Alcotest.(check bool) "quantile within occupied bucket" true (v >= 10.0 && v <= 20.0);
+      Alcotest.(check bool) "quantile monotone in q" true (v >= !prev);
+      prev := v)
+    [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ]
+
 let test_disabled_noop () =
   Obs.reset ();
   Obs.Metrics.disable ();
@@ -314,6 +351,21 @@ let test_json_export () =
       "\"test_root\"";
     ]
 
+let test_json_export_omits_empty_quantiles () =
+  with_clean_obs @@ fun () ->
+  (* A registered-but-never-observed histogram must not export nan (or
+     any) quantiles — only count 0, sum 0, and its buckets. *)
+  ignore (Obs.Metrics.histogram ~buckets:[| 1.0 |] "test.json_empty_h");
+  let json = Obs.Export.to_json () in
+  Alcotest.(check bool) "empty histogram exported" true
+    (contains ~needle:"\"test.json_empty_h\"" json);
+  Alcotest.(check bool) "count is zero" true (contains ~needle:"\"count\": 0" json);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "no %s for empty histogram" needle) false
+        (contains ~needle json))
+    [ "\"p50\""; "\"p95\""; "\"p99\""; "nan" ]
+
 let test_prometheus_export () =
   with_clean_obs @@ fun () ->
   Obs.Metrics.incr ~by:7 (Obs.Metrics.counter "test.prom c");
@@ -417,6 +469,30 @@ let test_resource_publish () =
 (* Timer                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Runtime_events bridge                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_runtime_bridge_stop_idempotent () =
+  (* stop without ever starting: a no-op, never a crash *)
+  Obs.Runtime_bridge.stop ();
+  Alcotest.(check bool) "inactive after cold stop" false (Obs.Runtime_bridge.is_active ());
+  (* start (may legitimately fail in odd environments), then stop
+     repeatedly: the second stop must find no cursor to double-free *)
+  if Obs.Runtime_bridge.start () then begin
+    Alcotest.(check bool) "active after start" true (Obs.Runtime_bridge.is_active ());
+    ignore (Obs.Runtime_bridge.poll ());
+    Obs.Runtime_bridge.stop ();
+    Alcotest.(check bool) "inactive after stop" false (Obs.Runtime_bridge.is_active ());
+    Obs.Runtime_bridge.stop ();
+    Alcotest.(check bool) "still inactive after double stop" false
+      (Obs.Runtime_bridge.is_active ());
+    (* and the bridge can come back up after a full stop cycle *)
+    Alcotest.(check bool) "restartable" true (Obs.Runtime_bridge.start ());
+    Obs.Runtime_bridge.stop ()
+  end;
+  Obs.Runtime_bridge.reset ()
+
 let test_timer_monotone () =
   let a = Timer.now_ns () in
   let b = Timer.now_ns () in
@@ -455,6 +531,7 @@ let () =
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram bucketing" `Quick test_histogram_buckets;
           Alcotest.test_case "histogram quantiles" `Quick test_quantiles;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
           Alcotest.test_case "reset keeps handles live" `Quick test_reset_in_place;
         ] );
@@ -478,6 +555,8 @@ let () =
       ( "export",
         [
           Alcotest.test_case "json" `Quick test_json_export;
+          Alcotest.test_case "json omits empty-histogram quantiles" `Quick
+            test_json_export_omits_empty_quantiles;
           Alcotest.test_case "prometheus" `Quick test_prometheus_export;
           Alcotest.test_case "summary" `Quick test_summary_export;
         ] );
@@ -488,6 +567,10 @@ let () =
           Alcotest.test_case "delta addition" `Quick test_resource_add;
           Alcotest.test_case "peak-heap sampler" `Quick test_resource_peak_sampler;
           Alcotest.test_case "gauge publication" `Quick test_resource_publish;
+        ] );
+      ( "runtime-bridge",
+        [
+          Alcotest.test_case "stop is idempotent" `Quick test_runtime_bridge_stop_idempotent;
         ] );
       ( "timer",
         [

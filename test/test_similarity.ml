@@ -172,6 +172,27 @@ let qcheck_tests =
            done;
            r.log_sim = !best || Float.abs (r.log_sim -. !best) < 1e-9));
     QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"attribution bit-identical to score_psa" ~count:200
+         (QCheck.pair seq_gen seq_gen)
+         (fun (cluster, probe) ->
+           (* [score_attributed] runs the same float operations in the
+              same order as [score_psa], and summing [attr_xs] over the
+              winning segment in the scan's own accumulation order must
+              rebuild log_sim. Both equalities are exact — no epsilon. *)
+           let t = build [ cluster ] in
+           let psa = Psa.compile t in
+           let s = Sequence.of_string alpha probe in
+           let plain = Similarity.score_psa psa ~log_background:uniform_lbg s in
+           let a = Similarity.score_attributed psa ~log_background:uniform_lbg s in
+           let same_float x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+           same_float a.attr_result.log_sim plain.log_sim
+           && a.attr_result.seg_lo = plain.seg_lo
+           && a.attr_result.seg_hi = plain.seg_hi
+           && same_float (Similarity.attribution_segment_sum a) plain.log_sim
+           && Array.length a.attr_xs = Array.length s
+           && Array.length a.attr_depths = Array.length s
+           && Array.for_all (fun d -> d >= 0) a.attr_depths));
+    QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"segment bounds valid" ~count:200
          (QCheck.pair seq_gen seq_gen)
          (fun (cluster, probe) ->
