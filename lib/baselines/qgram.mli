@@ -6,15 +6,19 @@
     count vectors, and clustering is spherical k-means over the sparse
     profiles. As the paper argues, the representation discards the
     sequential relationships {e between} q-grams, which is precisely the
-    accuracy gap Table 2 demonstrates. *)
+    accuracy gap Table 2 demonstrates.
+
+    Profiles are keyed by [Sketch.gram_key]: exact packed ints for
+    [q <= 3] with symbol codes below [Sketch.packed_symbol_limit] (every
+    workload in this repo), a negligible-collision 62-bit mix outside
+    that envelope. *)
 
 type profile
-(** A sparse q-gram count vector, L2-normalized lazily. *)
+(** A sparse q-gram count vector with its L2 norm. *)
 
 val profile : q:int -> Sequence.t -> profile
 (** [profile ~q s] is the q-gram profile of [s]; the profile is empty when
-    [|s| < q]. Raises [Invalid_argument] when [q <= 0]. Distinct q-grams
-    are keyed exactly (no lossy hashing). *)
+    [|s| < q]. Raises [Invalid_argument] when [q <= 0]. *)
 
 val cosine : profile -> profile -> float
 (** Cosine similarity in [\[0, 1\]]; [0.] when either profile is empty. *)
@@ -22,15 +26,27 @@ val cosine : profile -> profile -> float
 val dimensions : profile -> int
 (** Number of distinct q-grams in the profile. *)
 
+val is_empty : profile -> bool
+(** [true] iff the profile has no grams (sequence shorter than [q]). *)
+
+val unassigned : int
+(** The label ([-1]) given to sequences k-means cannot place: empty
+    profiles, or (degenerately) when every cluster has retired. *)
+
 type result = {
-  labels : int array;  (** Cluster index per sequence. *)
+  labels : int array;
+      (** Cluster index per sequence, or {!unassigned} for sequences
+          shorter than [q]. *)
   iterations : int;  (** k-means rounds executed. *)
 }
 
 val cluster :
   Rng.t -> k:int -> q:int -> ?rounds:int -> Sequence.t array -> result
 (** [cluster rng ~k ~q data] runs spherical k-means: centroids start from
-    random distinct sequences' profiles; each round assigns every profile
-    to the max-cosine centroid and recomputes centroids as normalized
-    member sums; stops when assignments stabilize or after [rounds]
-    (default 20). *)
+    random distinct sequences' profiles; each round assigns every
+    non-empty profile to the max-cosine live centroid and recomputes
+    centroids as normalized member sums; stops when assignments stabilize
+    or after [rounds] (default 20). Empty profiles stay {!unassigned}; a
+    cluster that ends a round with no members (or was seeded from an
+    empty profile) is retired deterministically and never claims
+    sequences again. *)

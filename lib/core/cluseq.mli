@@ -74,6 +74,12 @@ type recluster_snapshot = {
       (** Per cluster (in examination order of the cluster list):
           id, a private {!Pst.copy} of its model at iteration start, and
           its membership from the {e previous} iteration. *)
+  snap_index_ratio : float option;
+      (** [Some ratio] when the sketch gate was active for this pass.
+          The replay derives the same gate from [snap_before]'s model
+          copies ({!Index.of_pst}) and the database's sequence sketches
+          ({!Index.sketch_of_sequence}), so admit decisions are
+          reproducible bit-for-bit. *)
 }
 (** Everything a serial reference implementation needs to replay one
     reclustering pass independently (see [Check.reference_recluster]). *)
@@ -118,10 +124,23 @@ type scan_census = {
   assignments_changed : int;
       (** Sequences whose membership set changed this iteration (equals
           [membership_changes]). *)
+  pairs_reused : int;
+      (** Matrix entries satisfied from a clean cluster's cached score
+          column instead of a fresh evaluation (bit-identical by
+          determinism — see {!Cluster.score_cache}); [0] when the index
+          is disabled. Reused pairs are {e not} in [pairs_scored]. *)
+  index_candidates : int;
+      (** Pairs the sketch gate admitted to the parallel matrix this
+          iteration (whether evaluated or reused); [0] when the gate
+          was inactive. *)
+  index_filtered : int;
+      (** Pairs the sketch gate pruned (never scored); [0] when the
+          gate was inactive. [index_candidates + index_filtered = n·k]
+          on gated iterations. *)
   score_calls : (int * int) array;
       (** Per cluster scored this iteration: (cluster id, similarity
-          calls against it) — [n] matrix entries plus its dirty
-          rescores. *)
+          calls against it) — its admitted matrix entries plus its
+          dirty rescores. *)
 }
 (** Scan-efficiency census of one reclustering pass (DESIGN.md §10):
     the baseline any candidate-pruning optimization must beat. Counts

@@ -7,6 +7,14 @@ type t = {
      (Cluseq compiles before each read-only fan-out), dropped whenever
      the tree mutates. [None] means "score via the tree walk". *)
   mutable compiled : Psa.t option;
+  (* Candidate-index bitmap over the PST's active contexts, cached with
+     the same lifecycle as [compiled]: built lazily at pass start,
+     dropped whenever the tree mutates. *)
+  mutable sketch : Index.cluster_sketch option;
+  (* Previous reclustering pass's score column against this model —
+     valid only while the tree is unchanged (same lifecycle again), in
+     which case a fresh evaluation would be bit-identical. *)
+  mutable scores : Similarity.result array option;
 }
 
 let m_absorbs = Obs.Metrics.counter "cluster.absorbs"
@@ -14,7 +22,15 @@ let m_absorbs = Obs.Metrics.counter "cluster.absorbs"
 let create ~id ?(born = 0) ~capacity cfg seed =
   let pst = Pst.create cfg in
   Pst.insert_sequence pst seed;
-  { id; born; pst; members = Bitset.create capacity; compiled = None }
+  {
+    id;
+    born;
+    pst;
+    members = Bitset.create capacity;
+    compiled = None;
+    sketch = None;
+    scores = None;
+  }
 
 let id t = t.id
 let born t = t.born
@@ -41,6 +57,17 @@ let compile t =
               ])
       end
 
+let sketch t =
+  match t.sketch with
+  | Some s -> s
+  | None ->
+      let s = Index.of_pst t.pst in
+      t.sketch <- Some s;
+      s
+
+let score_cache t = t.scores
+let set_score_cache t col = t.scores <- Some col
+
 let similarity t ~log_background s =
   match t.compiled with
   | Some psa -> Similarity.score_psa psa ~log_background s
@@ -54,5 +81,7 @@ let absorb t ~seq_id s (r : Similarity.result) =
     (* The tree changed (insertion, possibly pruning): the automaton is
        stale. Scores fall back to the tree walk until the next compile —
        which is bit-identical, so callers cannot tell which path ran. *)
-    t.compiled <- None
+    t.compiled <- None;
+    t.sketch <- None;
+    t.scores <- None
   end

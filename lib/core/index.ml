@@ -1,0 +1,85 @@
+(* Sketch-gated candidate index. See mli. *)
+
+let q = 3
+let max_seq_hashes = 64
+let min_seq_hashes = 8
+let bloom_bits = 16384
+let bloom_mask = bloom_bits - 1
+
+(* 32 bits per word keeps the shift arithmetic trivially safe on 63-bit
+   OCaml ints; 512 words = 4 KiB per cluster. *)
+let bloom_words = bloom_bits / 32
+let min_cluster_contexts = 32
+let default_ratio = 0.3
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* The heuristic gate is opt-in: out of the box only the exact
+   score-column cache runs. See the mli for why. *)
+let ratio_value = ref 0.0
+let ratio () = !ratio_value
+
+let set_ratio r =
+  if not (Float.is_finite r) || r < 0.0 || r > 1.0 then invalid_arg "Index.set_ratio";
+  ratio_value := r
+
+let m_sketch_builds = Obs.Metrics.counter "cluseq.index.sketch_builds"
+let m_false_negatives = Obs.Metrics.counter "cluseq.index.false_negatives"
+let record_false_negatives n = if n > 0 then Obs.Metrics.incr ~by:n m_false_negatives
+
+type cluster_sketch = { bits : int array }
+
+let empty = { bits = [||] }
+let is_empty cs = Array.length cs.bits = 0
+let sketch_of_sequence s = Sketch.of_sequence ~q ~max_hashes:max_seq_hashes s
+
+let of_pst pst =
+  let cfg = Pst.config pst in
+  if cfg.Pst.max_depth < q then empty
+  else begin
+    Obs.Metrics.incr m_sketch_builds;
+    let bits = Array.make bloom_words 0 in
+    let active = ref 0 in
+    Pst.iter_nodes pst (fun node ->
+        (* Active contexts: depth-q nodes at or above the significance
+           count. Ancestors of a significant node are significant too
+           (child counts never exceed the parent's), so depth-q nodes
+           alone characterize the model's deep structure. *)
+        if Pst.node_depth node = q && Pst.node_count node >= cfg.Pst.significance then begin
+          let key = Sketch.key_of_list ~q (Pst.node_label pst node) in
+          let h = Sketch.hash_of_key key land bloom_mask in
+          bits.(h lsr 5) <- bits.(h lsr 5) lor (1 lsl (h land 31));
+          incr active
+        end);
+    (* A model with few active deep contexts is mostly characterized by
+       the shorter contexts the bitmap cannot see — sequences can clear
+       the similarity threshold without touching any active depth-q
+       context at all — so its bitmap is no evidence of absence: treat
+       the model as ungateable. Measured floor: wrongly-pruned joins
+       appeared against clusters with up to ~12 active contexts, while
+       models where gating is sound carry several dozen to hundreds. *)
+    if !active >= min_cluster_contexts then { bits } else empty
+  end
+
+let admit sk cs ~ratio =
+  if ratio <= 0.0 || is_empty cs then true
+  else begin
+    let m = Array.length sk in
+    (* A tiny sketch carries too little evidence to prune on. *)
+    if m < min_seq_hashes then true
+    else begin
+      let needed = max 1 (int_of_float (Float.ceil (ratio *. float_of_int m))) in
+      let bits = cs.bits in
+      let rec loop i hits =
+        if hits >= needed then true
+        else if hits + (m - i) < needed then false
+        else begin
+          let h = Array.unsafe_get sk i land bloom_mask in
+          let hit = Array.unsafe_get bits (h lsr 5) land (1 lsl (h land 31)) <> 0 in
+          loop (i + 1) (if hit then hits + 1 else hits)
+        end
+      in
+      loop 0 0
+    end
+  end

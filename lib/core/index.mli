@@ -1,0 +1,100 @@
+(** Sketch-gated candidate index for the reclustering scan.
+
+    The all-pairs scan scores every sequence against every live cluster
+    each iteration. Most of those pairs are hopeless: the sequence
+    shares almost no deep context with the cluster's PST and will come
+    nowhere near the similarity threshold. This module prices that
+    intuition into a cheap gate, in the spirit of ALFATClust's
+    Mash-sketch [--filter] pre-filter:
+
+    - each {e sequence} gets a bottom-k minhash sketch of its distinct
+      hashed q-grams ([q = 3]), computed once per run;
+    - each {e cluster} gets a Bloom bitmap over the hashes of its PST's
+      {e active contexts} — depth-[q] nodes whose count meets the
+      significance threshold — rebuilt lazily whenever the PST grows
+      (see [Cluster.sketch]);
+    - a (sequence, cluster) pair is scored only when at least
+      [ratio · |sketch|] of the sequence's sketch hashes hit the
+      cluster's bitmap, or when one of the conservative bypasses below
+      applies.
+
+    Bypasses (gate admits unconditionally): the sequence was a member of
+    the cluster at iteration start (membership exits must stay exact);
+    the sequence sketch has fewer than [min_seq_hashes] grams; the
+    cluster has fewer than {!min_cluster_contexts} active depth-[q]
+    contexts (young or shallow model — its similarity is dominated by
+    shorter contexts the bitmap cannot see); the PST depth bound is
+    below [q]; the ratio is [0]. Bloom collisions can only {e admit}
+    extra pairs, never wrongly prune.
+
+    The gate is {e opt-in}: the runtime ratio defaults to [0], so out of
+    the box only the exact score-column cache half of the index runs
+    (see DESIGN.md §12). The gate's evidence is incomplete by
+    construction — similarity mass that flows through depth-1/2 backoff
+    contexts is invisible to a depth-[q] bitmap, and measured workloads
+    exist where a genuinely similar sequence shares {e no} sampled deep
+    gram with a rich model (150+ active contexts) and would be wrongly
+    pruned at any positive ratio. Pass [--index-ratio] only after
+    checking a corpus sample with the [cluseq check] oracle.
+
+    Global on/off and ratio knobs follow the [Psa.enabled] escape-hatch
+    pattern and are wired to [--no-index] / [--index-ratio]. *)
+
+val q : int
+(** Gram length used by the index (3). *)
+
+val max_seq_hashes : int
+(** Bottom-k size of per-sequence sketches (64). *)
+
+val min_seq_hashes : int
+(** Sequences with fewer distinct grams than this are never gated (8). *)
+
+val min_cluster_contexts : int
+(** Clusters with fewer active depth-[q] contexts than this get the
+    {!empty} (admit-everything) sketch (32): a sparse bitmap is no
+    evidence of absence, because similarity against such a model is
+    dominated by the shorter contexts the bitmap cannot see. *)
+
+val default_ratio : float
+(** Recommended shared-hash-ratio cutoff for an explicit opt-in (0.3) —
+    the value the fuzz oracle and the docs' [--index-ratio] examples
+    use. Not the runtime default: {!ratio} starts at [0]. *)
+
+val enabled : unit -> bool
+(** Whether the index is allowed at all (default [true]). *)
+
+val set_enabled : bool -> unit
+(** Global escape hatch ([--no-index] sets [false]). *)
+
+val ratio : unit -> float
+(** Current shared-hash-ratio cutoff in [\[0, 1\]]; [0] (the default)
+    disables the heuristic gate, leaving only the exact cache. *)
+
+val set_ratio : float -> unit
+(** Raises [Invalid_argument] outside [\[0, 1\]] (or non-finite). *)
+
+val sketch_of_sequence : Sequence.t -> int array
+(** Bottom-k sketch of a sequence (sorted distinct mixed hashes). Pure
+    and deterministic — safe to fill in parallel. *)
+
+type cluster_sketch
+(** Bloom bitmap over a cluster PST's active depth-[q] contexts. *)
+
+val empty : cluster_sketch
+(** The sketch that admits everything. *)
+
+val is_empty : cluster_sketch -> bool
+
+val of_pst : Pst.t -> cluster_sketch
+(** Build from a PST's current significant depth-[q] nodes. Returns
+    {!empty} when the tree's [max_depth < q] or fewer than
+    {!min_cluster_contexts} contexts are active. Deterministic for a
+    given tree state. *)
+
+val admit : int array -> cluster_sketch -> ratio:float -> bool
+(** [admit seq_sketch cluster_sketch ~ratio] — should this pair be
+    scored? Early-exits both ways; pure. *)
+
+val record_false_negatives : int -> unit
+(** Bump the [cluseq.index.false_negatives] counter (called by the
+    check oracle when a gated run diverges from the full scan). *)

@@ -1,0 +1,260 @@
+(* Tests for the sketch-gated candidate index: the shared sketch kernel,
+   the admit gate, the score-column cache, and end-to-end equivalence of
+   gated and full reclustering scans. *)
+
+let alpha = Alphabet.lowercase
+let enc = Sequence.of_string alpha
+
+(* ------------------------------------------------------------------ *)
+(* Shared sketch kernel                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_packed_keys_collision_free () =
+  (* Regression for the old int-list keys: every 3-gram over an 8-symbol
+     alphabet must get a distinct packed key. *)
+  let seen = Hashtbl.create 1024 in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      for c = 0 to 7 do
+        let key = Sketch.gram_key [| a; b; c |] ~pos:0 ~q:3 in
+        (match Hashtbl.find_opt seen key with
+        | Some other ->
+            Alcotest.failf "grams %s and %s collide on key %d"
+              (String.concat "," (List.map string_of_int [ a; b; c ]))
+              other key
+        | None -> ());
+        Hashtbl.add seen key (String.concat "," (List.map string_of_int [ a; b; c ]))
+      done
+    done
+  done;
+  Alcotest.(check int) "512 distinct keys" 512 (Hashtbl.length seen)
+
+let test_key_of_list_matches_gram_key () =
+  let s = enc "abczqx" in
+  for pos = 0 to 3 do
+    let l = [ s.(pos); s.(pos + 1); s.(pos + 2) ] in
+    Alcotest.(check int)
+      (Printf.sprintf "pos %d" pos)
+      (Sketch.gram_key s ~pos ~q:3)
+      (Sketch.key_of_list ~q:3 l)
+  done
+
+let test_sketch_shape () =
+  let sk = Index.sketch_of_sequence (enc "abcabcabcxyzxyzxyz") in
+  Alcotest.(check bool) "non-empty" true (Array.length sk > 0);
+  Alcotest.(check bool) "bounded" true (Array.length sk <= Index.max_seq_hashes);
+  let sorted = Array.copy sk in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "sorted ascending" true (sk = sorted);
+  let distinct = List.sort_uniq compare (Array.to_list sk) in
+  Alcotest.(check int) "distinct" (Array.length sk) (List.length distinct);
+  Alcotest.(check bool) "short sequence empty" true
+    (Index.sketch_of_sequence (enc "ab") = [||])
+
+(* ------------------------------------------------------------------ *)
+(* Admit gate                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let trained_sketch texts =
+  (* A cluster sketch with enough active contexts to actually gate
+     (Index.min_cluster_contexts of them). *)
+  let cfg = { (Pst.default_config ~alphabet_size:26) with significance = 2; max_depth = 5 } in
+  let pst = Pst.create cfg in
+  List.iter
+    (fun t ->
+      for _ = 1 to 4 do
+        Pst.insert_sequence pst (enc t)
+      done)
+    texts;
+  Index.of_pst pst
+
+(* 48 distinct 3-grams, each active: enough vocabulary to gate on. *)
+let rich = [ "abcdefghijklmnopqrstuvwxyz"; "zyxwvutsrqponmlkjihgfedcba" ]
+
+let test_of_pst_thin_is_empty () =
+  (* Fewer than min_cluster_contexts active contexts: too sparse to be
+     evidence of absence, so the sketch must admit everything. *)
+  let cfg = { (Pst.default_config ~alphabet_size:26) with significance = 2; max_depth = 5 } in
+  let pst = Pst.create cfg in
+  for _ = 1 to 4 do
+    Pst.insert_sequence pst (enc "ababab")
+  done;
+  (* Only grams aba/bab can be active: 2 < 8. *)
+  Alcotest.(check bool) "thin sketch empty" true (Index.is_empty (Index.of_pst pst));
+  let shallow = Pst.create { cfg with max_depth = 2 } in
+  Pst.insert_sequence shallow (enc "abcdefghijabcdefghij");
+  Alcotest.(check bool) "max_depth < q empty" true (Index.is_empty (Index.of_pst shallow))
+
+let test_admit_basic () =
+  let cs = trained_sketch rich in
+  Alcotest.(check bool) "trained sketch not empty" true (not (Index.is_empty cs));
+  let matching = Index.sketch_of_sequence (enc "abcdefghijklmnopqrstuvwxyz") in
+  Alcotest.(check bool) "identical content admitted" true
+    (Index.admit matching cs ~ratio:Index.default_ratio);
+  (* Every other letter: grams ace, ceg, … — none in the bitmap. *)
+  let disjoint = Index.sketch_of_sequence (enc "acegikmoqsuwyacegikmoqsuwy") in
+  Alcotest.(check bool) "disjoint content pruned" false
+    (Index.admit disjoint cs ~ratio:Index.default_ratio);
+  Alcotest.(check bool) "ratio 0 admits anything" true (Index.admit disjoint cs ~ratio:0.0);
+  Alcotest.(check bool) "empty cluster sketch admits" true
+    (Index.admit disjoint Index.empty ~ratio:Index.default_ratio);
+  Alcotest.(check bool) "tiny sequence sketch admits" true
+    (Index.admit (Index.sketch_of_sequence (enc "qqq")) cs ~ratio:Index.default_ratio)
+
+let test_gate_opt_in () =
+  (* The heuristic gate must be dormant out of the box: default runs are
+     exact (cache-only), and --index-ratio is the explicit opt-in. *)
+  Alcotest.(check (float 0.0)) "runtime ratio defaults to 0" 0.0 (Index.ratio ());
+  Alcotest.(check bool) "index (cache) enabled by default" true (Index.enabled ());
+  Alcotest.(check bool) "recommended opt-in ratio is positive" true (Index.default_ratio > 0.0)
+
+let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 0 60) (Gen.char_range 'a' 'f'))
+
+let qcheck_kernel =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"sketch deterministic" ~count:200 seq_gen (fun s ->
+           Index.sketch_of_sequence (enc s) = Index.sketch_of_sequence (enc s)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"admit monotone in ratio" ~count:200
+         QCheck.(pair seq_gen (pair (QCheck.float_bound_inclusive 1.0) (QCheck.float_bound_inclusive 1.0)))
+         (fun (s, (r1, r2)) ->
+           let lo = Float.min r1 r2 and hi = Float.max r1 r2 in
+           let cs = trained_sketch rich in
+           let sk = Index.sketch_of_sequence (enc s) in
+           (* Admission at a stricter cutoff implies admission at a looser one. *)
+           (not (Index.admit sk cs ~ratio:hi)) || Index.admit sk cs ~ratio:lo));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end equivalence                                              *)
+(* ------------------------------------------------------------------ *)
+
+let workload () =
+  Workload.generate
+    {
+      Workload.default_params with
+      n_sequences = 100;
+      avg_length = 120;
+      n_clusters = 6;
+      contexts_per_cluster = 120;
+      concentration = 0.15;
+      seed = 7;
+    }
+
+(* Threshold adjustment off so the sketch gate engages from the first
+   iteration (with adjustment on it only engages once t freezes), and a
+   fixed threshold that keeps the six planted clusters separate long
+   enough for clean clusters to serve their cached score columns. *)
+let cfg =
+  {
+    Cluseq.default_config with
+    k_init = 2;
+    significance = 8;
+    min_residual = Some 8;
+    adjust_threshold = false;
+    t_init = exp 10.0;
+    max_iterations = 25;
+    seed = 3;
+  }
+
+let with_index ~on ~ratio f =
+  let e0 = Index.enabled () and r0 = Index.ratio () in
+  Fun.protect
+    ~finally:(fun () ->
+      Index.set_enabled e0;
+      Index.set_ratio r0)
+    (fun () ->
+      Index.set_enabled on;
+      Index.set_ratio ratio;
+      f ())
+
+let same (a : Cluseq.result) (b : Cluseq.result) =
+  a.clusters = b.clusters && a.assignments = b.assignments && a.outliers = b.outliers
+
+let test_gated_equals_full () =
+  let db = (workload ()).Workload.db in
+  let full = with_index ~on:false ~ratio:Index.default_ratio (fun () -> Cluseq.run ~config:cfg db) in
+  let gated =
+    with_index ~on:true ~ratio:Index.default_ratio (fun () -> Cluseq.run ~config:cfg db)
+  in
+  Alcotest.(check bool) "identical final clustering" true (same full gated);
+  (* The run must actually have exercised the machinery, not just
+     degenerated to the full scan. *)
+  let totals f =
+    List.fold_left
+      (fun (s, r, flt) (st : Cluseq.iteration_stats) ->
+        (s + st.census.pairs_scored, r + st.census.pairs_reused, flt + st.census.index_filtered))
+      (0, 0, 0) f.Cluseq.history
+  in
+  let fs, fr, ff = totals full and gs, gr, _gf = totals gated in
+  Alcotest.(check int) "full scan reuses nothing" 0 fr;
+  Alcotest.(check int) "full scan filters nothing" 0 ff;
+  Alcotest.(check bool) "index reused cached columns" true (gr > 0);
+  Alcotest.(check bool) "index scored fewer pairs" true (gs < fs)
+
+let test_ratio_zero_equals_disabled () =
+  (* Ratio 0 turns the gate off but keeps the score-column cache: the
+     cache must be invisible in the results. *)
+  let db = (workload ()).Workload.db in
+  let off = with_index ~on:false ~ratio:0.0 (fun () -> Cluseq.run ~config:cfg db) in
+  let cache_only = with_index ~on:true ~ratio:0.0 (fun () -> Cluseq.run ~config:cfg db) in
+  Alcotest.(check bool) "cache-only run identical" true (same off cache_only)
+
+let test_deterministic_across_domains () =
+  let db = (workload ()).Workload.db in
+  let saved = Par.default_domains () in
+  Fun.protect ~finally:(fun () -> Par.set_default_domains saved) @@ fun () ->
+  let run d =
+    Par.set_default_domains d;
+    with_index ~on:true ~ratio:Index.default_ratio (fun () -> Cluseq.run ~config:cfg db)
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool) "gated run identical at 1 and 4 domains" true (same r1 r4);
+  let census (r : Cluseq.result) =
+    List.map
+      (fun (st : Cluseq.iteration_stats) ->
+        (st.census.pairs_scored, st.census.pairs_reused, st.census.index_filtered))
+      r.history
+  in
+  Alcotest.(check bool) "census identical at 1 and 4 domains" true (census r1 = census r4)
+
+(* ------------------------------------------------------------------ *)
+(* Score-column cache lifecycle                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_dropped_on_absorb () =
+  let pcfg = { (Pst.default_config ~alphabet_size:26) with significance = 2 } in
+  let s = enc "abcabcabcabc" in
+  let cl = Cluster.create ~id:0 ~capacity:4 pcfg s in
+  let lbg = Array.make 26 (-.log 26.0) in
+  let r = Cluster.similarity cl ~log_background:lbg s in
+  Cluster.set_score_cache cl [| r |];
+  Alcotest.(check bool) "cache installed" true (Cluster.score_cache cl <> None);
+  Cluster.absorb cl ~seq_id:1 s r;
+  Alcotest.(check bool) "absorb drops the cache" true (Cluster.score_cache cl = None)
+
+let () =
+  Alcotest.run "index"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "packed keys collision-free" `Quick test_packed_keys_collision_free;
+          Alcotest.test_case "key_of_list = gram_key" `Quick test_key_of_list_matches_gram_key;
+          Alcotest.test_case "sketch shape" `Quick test_sketch_shape;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "thin models ungated" `Quick test_of_pst_thin_is_empty;
+          Alcotest.test_case "admit basics" `Quick test_admit_basic;
+          Alcotest.test_case "gate is opt-in" `Quick test_gate_opt_in;
+        ] );
+      ("property", qcheck_kernel);
+      ( "end-to-end",
+        [
+          Alcotest.test_case "gated = full" `Quick test_gated_equals_full;
+          Alcotest.test_case "ratio 0 = disabled" `Quick test_ratio_zero_equals_disabled;
+          Alcotest.test_case "domain determinism" `Quick test_deterministic_across_domains;
+        ] );
+      ("cache", [ Alcotest.test_case "absorb invalidates" `Quick test_cache_dropped_on_absorb ]);
+    ]

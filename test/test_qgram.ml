@@ -46,6 +46,49 @@ let test_cluster_invalid () =
   Alcotest.check_raises "k > n" (Invalid_argument "Qgram.cluster") (fun () ->
       ignore (Qgram.cluster (Rng.create 1) ~k:5 ~q:3 [| enc "abc" |]))
 
+let test_degenerate_stay_unassigned () =
+  (* Regression: sequences shorter than q have an empty profile and zero
+     cosine against everything; the old argmax silently dumped them into
+     cluster 0. They must stay deterministically unassigned. *)
+  let mk pat = enc (String.concat "" (List.init 8 (fun _ -> pat))) in
+  let data = [| mk "abc"; mk "abc"; mk "xyz"; mk "xyz"; enc "ab"; enc "" |] in
+  let r = Qgram.cluster (Rng.create 3) ~k:2 ~q:3 data in
+  Alcotest.(check int) "short sequence unassigned" Qgram.unassigned r.labels.(4);
+  Alcotest.(check int) "empty sequence unassigned" Qgram.unassigned r.labels.(5);
+  Alcotest.(check bool) "long sequences all assigned" true
+    (Array.for_all (fun l -> l <> Qgram.unassigned) (Array.sub r.labels 0 4))
+
+let test_emptied_cluster_retired () =
+  (* Regression: a cluster that lost its last member kept its stale
+     centroid as a ghost attractor that could recapture sequences on
+     later rounds and stall convergence. With retirement, runs over two
+     tight groups plus a straggler converge well before the round cap
+     and keep the groups separated, for every seeding — including seeds
+     that start on the straggler or on near-duplicate sequences and so
+     force clusters to empty. *)
+  let mk pat n = enc (String.concat "" (List.init n (fun _ -> pat))) in
+  let data =
+    Array.append
+      (Array.init 6 (fun i -> mk "abc" (6 + (i mod 2))))
+      (Array.append (Array.init 6 (fun i -> mk "xyz" (6 + (i mod 2)))) [| mk "abcxyz" 4 |])
+  in
+  for seed = 0 to 9 do
+    let r = Qgram.cluster (Rng.create seed) ~k:5 ~q:3 data in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d converges before the cap" seed)
+      true (r.iterations < 20);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d separates the groups" seed)
+      true
+      (r.labels.(0) <> r.labels.(6));
+    Array.iteri
+      (fun i l ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: seq %d assigned" seed i)
+          true (l <> Qgram.unassigned))
+      r.labels
+  done
+
 let seq_gen = QCheck.(string_gen_of_size (Gen.int_range 0 40) (Gen.char_range 'a' 'd'))
 
 let qcheck_tests =
@@ -79,6 +122,8 @@ let () =
           Alcotest.test_case "order insensitive" `Quick test_cosine_order_insensitive;
           Alcotest.test_case "cluster separates" `Quick test_cluster_separates;
           Alcotest.test_case "cluster invalid" `Quick test_cluster_invalid;
+          Alcotest.test_case "degenerate unassigned" `Quick test_degenerate_stay_unassigned;
+          Alcotest.test_case "emptied cluster retired" `Quick test_emptied_cluster_retired;
         ] );
       ("property", qcheck_tests);
     ]
