@@ -53,6 +53,15 @@ let tests () =
       (let psa = Psa.compile trained in
        Staged.stage (fun () ->
            ignore (Similarity.score_psa psa ~log_background:lbg (next_seq ()))));
+    (* The batched kernel over the whole 64-sequence block (~12.8k
+       symbols per run), reusing one scratch — the shape Cluseq
+       reclustering drives per (cluster, block) task. Compare per
+       symbol against similarity-psa-200sym × 64. *)
+    Test.make ~name:"psa-batch-scan"
+      (let psa = Psa.compile trained in
+       let batch = Psa.batch_create ~capacity:(Array.length seqs) () in
+       Staged.stage (fun () ->
+           ignore (Similarity.score_batch psa ~log_background:lbg ~batch seqs)));
     Test.make ~name:"psa-compile"
       (Staged.stage (fun () -> ignore (Psa.compile trained)));
     Test.make ~name:"edit-distance-200x200"
@@ -73,6 +82,47 @@ let tests () =
     Test.make ~name:"hmm-loglik-10st-200sym"
       (let m = Hmm.random (Rng.create 5) ~n_states:10 ~n_symbols:26 in
        Staged.stage (fun () -> ignore (Hmm.log_likelihood m (next_seq ()))));
+  ]
+
+(* Direct minor-allocation measurement of the two scan shapes, in words
+   per scored symbol: the per-sequence score_psa loop (the pre-batch
+   reclustering kernel, one result record per pair) against score_batch
+   with a reused scratch. Bechamel measures time; Gc.minor_words deltas
+   are the honest unit for the off-heap claim. Reported as extra rows so
+   `bench --record` folds them into the micro block (they are words, not
+   ns — the name says so; the micro compare's 10 ns floor skips them, the
+   experiment-level gc.minor_words_per_symbol verdict is the gate). *)
+let alloc_rows () =
+  let w = mk_workload () in
+  let lbg = Seq_database.log_background w.db in
+  let seqs = Seq_database.sequences w.db in
+  let pst_cfg = { (Pst.default_config ~alphabet_size:26) with significance = 8 } in
+  let trained = Pst.create pst_cfg in
+  Array.iteri (fun i s -> if w.labels.(i) = 0 then Pst.insert_sequence trained s) seqs;
+  let psa = Psa.compile trained in
+  let symbols = Array.fold_left (fun acc s -> acc + Array.length s) 0 seqs in
+  let words_per_symbol f =
+    f ();
+    (* warm: one-time allocation (scratch growth) settles *)
+    let reps = 50 in
+    let before = Gc.minor_words () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Gc.minor_words () -. before) /. float_of_int (reps * symbols)
+  in
+  let serial =
+    words_per_symbol (fun () ->
+        Array.iter (fun s -> ignore (Similarity.score_psa psa ~log_background:lbg s)) seqs)
+  in
+  let batch_scratch = Psa.batch_create ~capacity:(Array.length seqs) () in
+  let batched =
+    words_per_symbol (fun () ->
+        ignore (Similarity.score_batch psa ~log_background:lbg ~batch:batch_scratch seqs))
+  in
+  [
+    ("cluseq/alloc-psa-serial-words-per-symbol", serial);
+    ("cluseq/alloc-psa-batch-words-per-symbol", batched);
   ]
 
 (* Runs the suite, prints the table, and returns the (name, ns/run) rows
@@ -97,4 +147,9 @@ let run () =
     results;
   let rows = List.sort compare !rows in
   List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.0f ns/run\n" name ns) rows;
-  rows
+  let alloc = alloc_rows () in
+  Printf.printf "\n== Scan allocation (Gc.minor_words deltas) ==\n%!";
+  List.iter
+    (fun (name, words) -> Printf.printf "  %-40s %12.4f words/symbol\n" name words)
+    alloc;
+  rows @ alloc

@@ -73,6 +73,14 @@ let compare_experiment ~threshold ~quality_threshold (b : Bench_report.experimen
           ~candidate:(Bench_report.sequences_per_s c);
         judge ~threshold ~direction:Lower_better ~min_base:min_words ~experiment:b.id
           ~metric:"gc.minor_words" ~base:b.gc.minor_words ~candidate:c.gc.minor_words;
+        (* Allocation per scored symbol: the ratio the off-heap batched
+           scorer ratchets. min_base 1.0 word/symbol skips runs with no
+           recorded symbols (ratio 0) and truly allocation-free ones,
+           where the ratio is all noise. *)
+        judge ~threshold ~direction:Lower_better ~min_base:1.0 ~experiment:b.id
+          ~metric:"gc.minor_words_per_symbol"
+          ~base:(Bench_report.minor_words_per_symbol b)
+          ~candidate:(Bench_report.minor_words_per_symbol c);
         judge ~threshold ~direction:Lower_better ~min_base:min_words ~experiment:b.id
           ~metric:"gc.major_words" ~base:b.gc.major_words ~candidate:c.gc.major_words;
         judge ~threshold ~direction:Lower_better ~min_base:min_words ~experiment:b.id

@@ -71,6 +71,13 @@ let sequences_per_s e =
 let symbols_per_s e =
   if e.cluseq_seconds > 0.0 then float_of_int e.symbols /. e.cluseq_seconds else 0.0
 
+(* Allocation intensity of the scoring pipeline: minor-heap words
+   allocated per symbol pushed through clustering. Derived from fields
+   every schema-v2 record already carries, so it compares against old
+   baselines without a schema bump. *)
+let minor_words_per_symbol e =
+  if e.symbols > 0 then e.gc.Obs.Resource.minor_words /. float_of_int e.symbols else 0.0
+
 (* ------------------------------------------------------------------ *)
 (* Environment probing                                                 *)
 (* ------------------------------------------------------------------ *)

@@ -113,6 +113,12 @@ val sequences_per_s : experiment -> float
 
 val symbols_per_s : experiment -> float
 
+val minor_words_per_symbol : experiment -> float
+(** [gc.minor_words / symbols], or 0 when no symbols were recorded —
+    the allocation cost of pushing one symbol through clustering, the
+    number the off-heap batched scorer ratchets. Derived from existing
+    schema-v2 fields, so it compares against old baselines. *)
+
 val collect_env : label:string -> scale:float -> domains:int -> env
 (** Probe the environment: git rev from [.git/HEAD] (following the ref,
     including packed refs), hostname from [/proc] or [$HOSTNAME]; both

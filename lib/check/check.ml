@@ -290,8 +290,7 @@ let psa_scoring_matches pst ~log_background probes =
           let got = Psa.prediction_depth psa !state in
           if want <> got then
             err "probe %d pos %d: prediction depth %d, automaton state depth %d" pi pos want got;
-          let n = Psa.alphabet_size psa in
-          state := (Psa.transitions psa).((!state * n) + sym))
+          state := Psa.step psa !state sym)
         s;
       let rt = Similarity.score pst ~log_background s in
       let rc = Similarity.score_psa psa ~log_background s in
@@ -301,6 +300,37 @@ let psa_scoring_matches pst ~log_background probes =
         err "probe %d: tree score %.17g [%d,%d], compiled %.17g [%d,%d]" pi rt.log_sim
           rt.seg_lo rt.seg_hi rc.log_sim rc.seg_lo rc.seg_hi)
     probes;
+  List.rev !errs
+
+(* Batched-vs-serial scoring oracle: [Psa.score_batch] interleaves the
+   lanes position-major, so the thing that can silently go wrong is
+   cross-lane state leaking (a lane reading another's accumulator or
+   automaton state, or a retired lane still advancing). Scoring the
+   block batched and each sequence serially must agree exactly — float
+   bits and segment bounds — including on empty sequences and after the
+   scratch has been resized by a previous, larger block. *)
+let batch_scoring_matches pst ~log_background blocks =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let psa = Psa.compile pst in
+  (* One scratch across all blocks, deliberately starting tiny: block
+     boundaries must fully reset every reused column. *)
+  let batch = Psa.batch_create ~capacity:1 () in
+  List.iteri
+    (fun bi block ->
+      let batched = Similarity.score_batch psa ~log_background ~batch block in
+      Array.iteri
+        (fun j s ->
+          let serial = Similarity.score_psa psa ~log_background s in
+          let b = batched.(j) in
+          if not (Float.equal serial.Similarity.log_sim b.Similarity.log_sim)
+             || serial.seg_lo <> b.seg_lo || serial.seg_hi <> b.seg_hi
+          then
+            err "block %d lane %d (len %d): serial %.17g [%d,%d], batched %.17g [%d,%d]" bi j
+              (Array.length s) serial.log_sim serial.seg_lo serial.seg_hi b.log_sim b.seg_lo
+              b.seg_hi)
+        block)
+    blocks;
   List.rev !errs
 
 (* ------------------------------------------------------------------ *)

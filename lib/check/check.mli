@@ -77,6 +77,18 @@ val psa_scoring_matches :
     {!Pst.prediction_node}'s. Run by the fuzz harness on every case,
     against both the unpruned and a pruned tree. *)
 
+val batch_scoring_matches :
+  Pst.t -> log_background:float array -> Sequence.t array list -> string list
+(** Differential oracle for the batched kernel: compiles the tree and
+    scores each block with {!Similarity.score_batch} against
+    {!Similarity.score_psa} per sequence, demanding {e exact} float
+    equality of every log-similarity plus identical segment bounds. All
+    blocks share one scratch (created with capacity 1) so lane-reset and
+    resize bugs across block boundaries are exercised too. Run by the
+    fuzz harness (check #6) on both the unpruned and a pruned tree, with
+    blocks that include the empty block, singletons, and empty
+    sequences. *)
+
 type index_verdict =
   | Index_skipped  (** The index is globally disabled (or the ratio is 0). *)
   | Index_identical  (** Gated and full scans produced identical clusterings. *)

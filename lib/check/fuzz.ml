@@ -127,6 +127,23 @@ let run_case ?(on_divergence = ignore) case =
      unpruned tree and the pruned copy (pruning reshapes the active set). *)
   add_all "psa" (Check.psa_scoring_matches pst ~log_background:lbg case.probes);
   add_all "psa-pruned" (Check.psa_scoring_matches pruned ~log_background:lbg case.probes);
+  (* Batched kernel vs serial compiled scan (check #6): one automaton
+     over whole blocks must be bit-identical lane by lane. The block
+     list covers the shapes the engine produces — a full block (the
+     training sequences), a small block (probes), the empty block, a
+     block of one, and a block containing an empty sequence — all
+     through one shared scratch so cross-block reuse is exercised. *)
+  let batch_blocks =
+    [
+      case.seqs;
+      case.probes;
+      [||];
+      [| [||] |];
+      (if Array.length case.probes > 0 then Array.sub case.probes 0 1 else [||]);
+    ]
+  in
+  add_all "batch" (Check.batch_scoring_matches pst ~log_background:lbg batch_blocks);
+  add_all "batch-pruned" (Check.batch_scoring_matches pruned ~log_background:lbg batch_blocks);
   (* --- 3. audited clustering at 1 vs 4 domains --- *)
   let saved = Par.default_domains () in
   Fun.protect ~finally:(fun () ->

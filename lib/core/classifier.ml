@@ -64,10 +64,53 @@ let classify t s =
 
 (* Batch scoring is read-only against the stored models, so verdicts fan
    out over the domain pool; results are gathered by sequence index, so
-   the output is identical for any domain count. *)
+   the output is identical for any domain count. Each task owns a block
+   of sequences and scores it model-major — one batched automaton pass
+   per (model, block) via [Similarity.score_batch] — then assembles each
+   lane's verdict from the same per-model score list, in the same model
+   order, that [classify] builds, so the sorted verdicts are identical
+   to the per-sequence path (the fuzz harness cross-checks the two). *)
 let classify_all t db =
   let seqs = Seq_database.sequences db in
-  Par.map_chunks (Par.get_pool ()) ~n:(Array.length seqs) (fun i -> classify t seqs.(i))
+  let n = Array.length seqs in
+  let block = 64 in
+  let nb = (n + block - 1) / block in
+  let blocks =
+    Par.map_chunks (Par.get_pool ()) ~n:nb (fun b ->
+        let lo = b * block in
+        let bn = min block (n - lo) in
+        let sub = Array.sub seqs lo bn in
+        let batch = Psa.batch_create ~capacity:bn () in
+        (* cols.(i).(j): lane j's log-similarity against model i. *)
+        let cols =
+          Array.mapi
+            (fun i (_, pst) ->
+              match t.compiled.(i) with
+              | Some psa ->
+                  Array.map
+                    (fun (r : Similarity.result) -> r.log_sim)
+                    (Similarity.score_batch psa ~log_background:t.log_background ~batch sub)
+              | None ->
+                  Array.map
+                    (fun s -> (Similarity.score pst ~log_background:t.log_background s).log_sim)
+                    sub)
+            t.models
+        in
+        Array.init bn (fun j ->
+            let scores =
+              Array.to_list (Array.mapi (fun i (id, _) -> (id, cols.(i).(j))) t.models)
+              |> List.sort (fun (_, a) (_, b) -> compare b a)
+            in
+            match scores with
+            | [] -> assert false
+            | (best, score) :: _ ->
+                {
+                  cluster = (if score >= t.log_t then Some best else None);
+                  log_sim = score;
+                  scores;
+                }))
+  in
+  Array.init n (fun i -> blocks.(i / block).(i mod block))
 
 let n_clusters t = Array.length t.models
 let threshold t = exp t.log_t

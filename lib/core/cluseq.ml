@@ -70,6 +70,15 @@ let h_member_score =
    the census tallies tell pruned pairs apart by physical equality. *)
 let not_scored : Similarity.result = { log_sim = Float.nan; seg_lo = -1; seg_hi = -1 }
 
+(* Scoring fan-out granularity: sequences are scored in blocks of this
+   many lanes so one compiled automaton streams over a whole block per
+   call ({!Psa.score_batch}) instead of being re-entered per sequence.
+   Each parallel task owns one block and its own scratch columns; the
+   per-pair results are independent of the block split, so any block
+   size yields the same bits. 64 lanes keep the scratch (~4 KiB) and the
+   state column cache-resident. *)
+let scan_block = 64
+
 (* The five phases of one iteration, in execution order; indexes into
    [h_phase] and the per-iteration timing array in [run]. *)
 let phase_names = [| "generation"; "reclustering"; "consolidation"; "threshold"; "convergence" |]
@@ -244,12 +253,36 @@ let generate_new_clusters cfg db rng ~iter ~next_id ~clusters ~unclustered ~k_n 
         (fun acc cl -> Float.max acc (Cluster.similarity cl ~log_background:lbg s).log_sim)
         neg_infinity clusters
     in
+    let clusters_arr = Array.of_list clusters in
     let max_sim =
-      Par.map_chunks par ~n:m (fun j ->
-          let s = Seq_database.get db samples.(j) in
-          match index with
-          | None -> full_max_sim s
-          | Some (ratio, sketches) ->
+      match index with
+      | None ->
+          (* Ungated: score cluster-major over blocks of samples, one
+             batched automaton pass per (cluster, block). The per-sample
+             [Float.max] fold visits clusters in list order — the same
+             operations in the same order as [full_max_sim], so the
+             maxima are bit-identical. *)
+          let nb = (m + scan_block - 1) / scan_block in
+          let blocks =
+            Par.map_chunks par ~n:nb (fun b ->
+                let lo = b * scan_block in
+                let bn = min scan_block (m - lo) in
+                let seqs = Array.init bn (fun j -> Seq_database.get db samples.(lo + j)) in
+                let batch = Psa.batch_create ~capacity:bn () in
+                let acc = Array.make bn neg_infinity in
+                Array.iter
+                  (fun cl ->
+                    let res = Cluster.similarity_batch cl ~log_background:lbg ~batch seqs in
+                    for j = 0 to bn - 1 do
+                      acc.(j) <- Float.max acc.(j) res.(j).Similarity.log_sim
+                    done)
+                  clusters_arr;
+                acc)
+          in
+          Array.init m (fun j -> blocks.(j / scan_block).(j mod scan_block))
+      | Some (ratio, sketches) ->
+          Par.map_chunks par ~n:m (fun j ->
+              let s = Seq_database.get db samples.(j) in
               let sk = sketches.(samples.(j)) in
               let acc = ref neg_infinity and admitted = ref false in
               List.iteri
@@ -303,20 +336,47 @@ let generate_new_clusters cfg db rng ~iter ~next_id ~clusters ~unclustered ~k_n 
           match index with None -> Index.empty | Some _ -> Cluster.sketch cl
         in
         let sims =
-          Par.map_chunks par ~n:m (fun j' ->
-              if taken.(j') then neg_infinity
-              else begin
-                let admitted =
-                  match index with
-                  | None -> true
-                  | Some (ratio, sketches) ->
-                      Index.admit sketches.(samples.(j')) fresh_sketch ~ratio
-                in
-                if admitted then
-                  (Cluster.similarity cl ~log_background:lbg (Seq_database.get db samples.(j')))
-                    .log_sim
-                else neg_infinity
-              end)
+          match index with
+          | None ->
+              (* Ungated: one batched pass of the fresh cluster's
+                 automaton per block, over the still-untaken lanes
+                 ([taken] is read-only during the sweep). *)
+              let nb = (m + scan_block - 1) / scan_block in
+              let blocks =
+                Par.map_chunks par ~n:nb (fun b ->
+                    let lo = b * scan_block in
+                    let bn = min scan_block (m - lo) in
+                    let out = Array.make bn neg_infinity in
+                    let pending = Array.make bn 0 in
+                    let np = ref 0 in
+                    for j = 0 to bn - 1 do
+                      if not taken.(lo + j) then begin
+                        pending.(!np) <- j;
+                        incr np
+                      end
+                    done;
+                    if !np > 0 then begin
+                      let seqs =
+                        Array.init !np (fun p ->
+                            Seq_database.get db samples.(lo + pending.(p)))
+                      in
+                      let batch = Psa.batch_create ~capacity:!np () in
+                      let res = Cluster.similarity_batch cl ~log_background:lbg ~batch seqs in
+                      for p = 0 to !np - 1 do
+                        out.(pending.(p)) <- res.(p).Similarity.log_sim
+                      done
+                    end;
+                    out)
+              in
+              Array.init m (fun j -> blocks.(j / scan_block).(j mod scan_block))
+          | Some (ratio, sketches) ->
+              Par.map_chunks par ~n:m (fun j' ->
+                  if taken.(j') then neg_infinity
+                  else if Index.admit sketches.(samples.(j')) fresh_sketch ~ratio then
+                    (Cluster.similarity cl ~log_background:lbg
+                       (Seq_database.get db samples.(j')))
+                      .log_sim
+                  else neg_infinity)
         in
         for j' = 0 to m - 1 do
           if (not taken.(j')) && sims.(j') > max_sim.(j') then max_sim.(j') <- sims.(j')
@@ -607,26 +667,62 @@ let run ?(config = default_config) db =
         if cache_on then Array.map Cluster.score_cache clusters_arr
         else Array.make k None
       in
+      (* Batch-first fan-out: each parallel task owns a block of
+         [scan_block] sequences and scores it cluster-major — per
+         cluster, the lanes not satisfied by the score-column cache or
+         pruned by the gate are gathered and scored in ONE batched
+         automaton pass ([Cluster.similarity_batch]). The matrix rows
+         are identical, record for record, to the per-pair sweep this
+         replaces: cache hits install the cached record itself (the
+         apply loop's census relies on that physical identity), pruned
+         pairs install the [not_scored] sentinel, and the batched kernel
+         is bit-for-bit equal to [Cluster.similarity] on each lane. *)
+      let nblocks = (n + scan_block - 1) / scan_block in
+      let score_blocks =
+        Par.map_chunks (Par.get_pool ()) ~n:nblocks (fun b ->
+            let lo = b * scan_block in
+            let bn = min scan_block (n - lo) in
+            let block_seqs = Array.init bn (fun j -> Seq_database.get db (lo + j)) in
+            let rows = Array.init bn (fun _ -> Array.make k not_scored) in
+            let batch = Psa.batch_create ~capacity:bn () in
+            (* Lane gather scratch, reused across the k clusters. *)
+            let pending = Array.make (max bn 1) 0 in
+            Array.iteri
+              (fun ci cl ->
+                let np = ref 0 in
+                for j = 0 to bn - 1 do
+                  let sid = lo + j in
+                  match caches.(ci) with
+                  | Some col when col.(sid) != not_scored -> rows.(j).(ci) <- col.(sid)
+                  | _ ->
+                      let admitted =
+                        match gate with
+                        | None -> true
+                        | Some (ratio, cl_sketches) ->
+                            (* Members always bypass the gate: exits must
+                               be decided by a real score, never by a
+                               sketch miss. *)
+                            Bitset.mem prev_arr.(ci) sid
+                            || Index.admit seq_sketches.(sid) cl_sketches.(ci) ~ratio
+                      in
+                      if admitted then begin
+                        pending.(!np) <- j;
+                        incr np
+                      end
+                      (* else: the row already holds [not_scored]. *)
+                done;
+                if !np > 0 then begin
+                  let seqs = Array.init !np (fun p -> block_seqs.(pending.(p))) in
+                  let fresh = Cluster.similarity_batch cl ~log_background:lbg ~batch seqs in
+                  for p = 0 to !np - 1 do
+                    rows.(pending.(p)).(ci) <- fresh.(p)
+                  done
+                end)
+              clusters_arr;
+            rows)
+      in
       let scores =
-        Par.map_chunks (Par.get_pool ()) ~n (fun sid ->
-            let s = Seq_database.get db sid in
-            let eval ci cl =
-              match caches.(ci) with
-              | Some col when col.(sid) != not_scored -> col.(sid)
-              | _ -> Cluster.similarity cl ~log_background:lbg s
-            in
-            match gate with
-            | None -> Array.mapi eval clusters_arr
-            | Some (ratio, cl_sketches) ->
-                (* Members always bypass the gate: exits must be decided
-                   by a real score, never by a sketch miss. *)
-                let sk = seq_sketches.(sid) in
-                Array.mapi
-                  (fun ci cl ->
-                    if Bitset.mem prev_arr.(ci) sid || Index.admit sk cl_sketches.(ci) ~ratio
-                    then eval ci cl
-                    else not_scored)
-                  clusters_arr)
+        Array.init n (fun sid -> score_blocks.(sid / scan_block).(sid mod scan_block))
       in
       let new_best = Array.make n None in
       let new_assignments = Array.make n [] in

@@ -73,6 +73,11 @@ let similarity t ~log_background s =
   | Some psa -> Similarity.score_psa psa ~log_background s
   | None -> Similarity.score t.pst ~log_background s
 
+let similarity_batch t ~log_background ~batch seqs =
+  match t.compiled with
+  | Some psa -> Similarity.score_batch psa ~log_background ~batch seqs
+  | None -> Array.map (Similarity.score t.pst ~log_background) seqs
+
 let absorb t ~seq_id s (r : Similarity.result) =
   Obs.Metrics.incr m_absorbs;
   add_member t seq_id;

@@ -70,6 +70,19 @@ val similarity : t -> log_background:float array -> Sequence.t -> Similarity.res
     otherwise. The two paths are bit-for-bit equal, so the choice is
     invisible to callers. *)
 
+val similarity_batch :
+  t ->
+  log_background:float array ->
+  batch:Psa.batch ->
+  Sequence.t array ->
+  Similarity.result array
+(** Score a whole block against this cluster in one pass — the batched
+    kernel ({!Similarity.score_batch}) over the cached automaton when
+    one is present, a per-sequence tree walk otherwise (the [--no-psa]
+    fallback). Bit-for-bit equal to mapping {!similarity} over the
+    block either way. [batch] is the caller's reusable scratch (one per
+    worker domain). *)
+
 val absorb : t -> seq_id:int -> Sequence.t -> Similarity.result -> unit
 (** [absorb t ~seq_id s r] adds [seq_id] as a member and inserts the
     maximizing segment [r.seg_lo .. r.seg_hi] of [s] into the PST

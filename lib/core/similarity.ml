@@ -88,17 +88,37 @@ let score_psa psa ~log_background s =
         if sym < 0 || sym >= n then
           invalid_arg "Similarity.score_psa: symbol outside the compiled alphabet";
         let idx = (state * n) + sym in
-        let x = Array.unsafe_get emit idx -. Array.unsafe_get log_background sym in
+        let x = Bigarray.Array1.unsafe_get emit idx -. Array.unsafe_get log_background sym in
         let extend = y >= 0.0 in
         let y' = if extend then y +. x else x in
         let start' = if extend then start else i in
-        let state' = Array.unsafe_get trans idx in
+        let state' = Bigarray.Array1.unsafe_get trans idx in
         if y' > z then go (i + 1) state' y' y' start' start' i
         else go (i + 1) state' y' z start' blo bhi
       end
     in
     go 0 0 neg_infinity neg_infinity 0 0 0
   end
+
+(* Batch-first front end over [Psa.score_batch]: one automaton over a
+   whole block of sequences, reading the scratch columns back into
+   [result] records. Bit-for-bit equal to mapping [score_psa] over the
+   block (the kernel performs the identical per-lane float operations in
+   the identical order; empty lanes reproduce [empty_result]). Metrics
+   are bumped once per block — same totals as the per-sequence calls. *)
+let score_batch psa ~log_background ~batch seqs =
+  let b = Array.length seqs in
+  Obs.Metrics.incr ~by:b m_calls;
+  Obs.Metrics.incr
+    ~by:(Array.fold_left (fun acc s -> acc + Array.length s) 0 seqs)
+    m_symbols_scanned;
+  Psa.score_batch psa ~log_background ~batch seqs;
+  Array.init b (fun j ->
+      {
+        log_sim = Psa.batch_log_sim batch j;
+        seg_lo = Psa.batch_seg_lo batch j;
+        seg_hi = Psa.batch_seg_hi batch j;
+      })
 
 type attribution = { attr_result : result; attr_xs : float array; attr_depths : int array }
 
@@ -134,13 +154,13 @@ let score_attributed psa ~log_background s =
         if sym < 0 || sym >= n then
           invalid_arg "Similarity.score_attributed: symbol outside the compiled alphabet";
         let idx = (state * n) + sym in
-        let x = Array.unsafe_get emit idx -. Array.unsafe_get log_background sym in
+        let x = Bigarray.Array1.unsafe_get emit idx -. Array.unsafe_get log_background sym in
         Array.unsafe_set xs i x;
         Array.unsafe_set depths i (Psa.prediction_depth psa state);
         let extend = y >= 0.0 in
         let y' = if extend then y +. x else x in
         let start' = if extend then start else i in
-        let state' = Array.unsafe_get trans idx in
+        let state' = Bigarray.Array1.unsafe_get trans idx in
         if y' > z then go (i + 1) state' y' y' start' start' i
         else go (i + 1) state' y' z start' blo bhi
       end
@@ -181,8 +201,8 @@ let xs_psa psa ~log_background s =
     if sym < 0 || sym >= n then
       invalid_arg "Similarity.xs_psa: symbol outside the compiled alphabet";
     let idx = (!state * n) + sym in
-    x.(i) <- Array.unsafe_get emit idx -. Array.unsafe_get log_background sym;
-    state := Array.unsafe_get trans idx
+    x.(i) <- Bigarray.Array1.unsafe_get emit idx -. Array.unsafe_get log_background sym;
+    state := Bigarray.Array1.unsafe_get trans idx
   done;
   x
 

@@ -35,6 +35,18 @@ val score_psa : Psa.t -> log_background:float array -> Sequence.t -> result
     property tests and the fuzz oracle). Raises [Invalid_argument] on a
     symbol outside the compiled alphabet. *)
 
+val score_batch :
+  Psa.t -> log_background:float array -> batch:Psa.batch -> Sequence.t array -> result array
+(** [score_batch psa ~log_background ~batch seqs] scores the whole block
+    in one position-major pass over the automaton ({!Psa.score_batch})
+    and returns one {!result} per sequence, in input order. Bit-for-bit
+    equal to [Array.map (score_psa psa ~log_background) seqs] — the
+    kernel performs the identical per-lane float operations in the
+    identical order, and empty sequences yield the [empty_result]
+    sentinel — while allocating nothing per symbol ([batch] holds the
+    reusable scratch columns; one per worker domain). Raises
+    [Invalid_argument] on a symbol outside the compiled alphabet. *)
+
 val xs_psa : Psa.t -> log_background:float array -> Sequence.t -> float array
 (** The per-position {m X_i} profile via the automaton; bit-for-bit equal
     to {!xs} on the source tree. *)

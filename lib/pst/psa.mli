@@ -16,28 +16,39 @@
     advances one state and reads one float per symbol, with no
     allocation and no [log].
 
-    The compiled tables are immutable and therefore safely shared
-    read-only across [Par] domains. They snapshot the tree at compile
-    time: any later mutation of the source PST (insertion, pruning) makes
-    the automaton stale, so callers cache one automaton per frozen tree
-    and drop it on mutation (see {!Cluster.compile}).
+    The tables are {!Bigarray.Array1} blocks, i.e. {e off the OCaml
+    heap}: the GC neither scans nor moves them, so a compiled automaton
+    adds nothing to minor-collection work, and [Par] worker domains read
+    the same flat block without copies (Bigarray payloads are unboxed C
+    buffers, immune to the per-domain minor heaps). They snapshot the
+    tree at compile time: any later mutation of the source PST
+    (insertion, pruning) makes the automaton stale, so callers cache one
+    automaton per frozen tree and drop it on mutation (see
+    {!Cluster.compile}).
 
     Equality contract: for every sequence, scanning the automaton yields
     {e bit-for-bit} the floats of the tree walk (same prediction node per
-    position, same precomputed [log]); the property tests and the fuzz
-    harness enforce exact float equality, not within-epsilon. See
-    DESIGN.md §9. *)
+    position, same precomputed [log]) — a float64 Bigarray cell stores
+    the exact IEEE double written into it; the property tests and the
+    fuzz harness enforce exact float equality, not within-epsilon. See
+    DESIGN.md §9 and §13. *)
 
 type t
 (** An immutable compiled automaton. *)
+
+type trans_table = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Off-heap dense transition table. *)
+
+type emit_table = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Off-heap emission (log-probability) table. *)
 
 val compile : Pst.t -> t
 (** [compile pst] builds the automaton for the tree's current state in
     O(states · |Σ|) time and space. Records the
     [similarity.compile_seconds] histogram and the [pst.compilations] /
-    [pst.compiled_states] counters. Must be called on the main domain
-    (histograms are main-domain-only); the result may be read from any
-    domain. *)
+    [pst.compiled_states] / [pst.compiled_table_bytes] counters. Must be
+    called on the main domain (histograms are main-domain-only); the
+    result may be read from any domain. *)
 
 val alphabet_size : t -> int
 (** |Σ| of the source tree; symbols fed to the scan must lie in
@@ -49,18 +60,27 @@ val n_states : t -> int
     pruning can add closure states for contexts whose own node was
     removed while a longer extension survived. *)
 
-val transitions : t -> int array
+val transitions : t -> trans_table
 (** The dense transition table, row-major: entry [state * n + sym] is the
     state reached after emitting [sym] — the prediction state for the
-    context extended by [sym]. Read-only; exposed for the scan kernel in
+    context extended by [sym]. Read-only; exposed for the scan kernels in
     {!Similarity} and the microbenchmarks. *)
 
-val emissions : t -> float array
+val emissions : t -> emit_table
 (** The precomputed emission table, row-major: entry [state * n + sym] is
     {!Pst.next_log_prob} of the state's tree node for [sym] — bit-equal
     to what the tree walk would return. Background subtraction is {e not}
     folded in, so one automaton stays valid across background-vector
     refreshes (the streaming mode re-estimates its background). *)
+
+val step : t -> int -> int -> int
+(** [step t state sym] is the bounds-checked single transition
+    [transitions t].{[state * n + sym]} — the convenience read for tests
+    and oracles that re-walk the automaton one symbol at a time. *)
+
+val emission : t -> int -> int -> float
+(** [emission t state sym] is the bounds-checked emission table read at
+    [state * n + sym]. *)
 
 val prediction_depth : t -> int -> int
 (** [prediction_depth t i] is the depth (context length) of the tree
@@ -69,12 +89,61 @@ val prediction_depth : t -> int -> int
     is the root (depth 0). Exposed so tests can assert the automaton
     tracks the tree walk exactly. *)
 
+val table_bytes : t -> int
+(** Total bytes held by the automaton's flat tables (transitions +
+    emissions off-heap, plus the small prediction-depth side array) —
+    the amount of model data the GC never scans. *)
+
 val enabled : unit -> bool
 (** Whether call sites should compile at all (default [true]). *)
 
 val set_enabled : bool -> unit
 (** Global escape hatch, wired to the CLI's [--no-psa]: when disabled,
     the caching call sites ({!Cluster.compile}, [Classifier], [Online])
-    skip compilation and every score falls back to the tree walk. Results
-    are identical either way — this exists for debugging and for
-    measuring the speedup end to end. *)
+    skip compilation and every score falls back to the tree walk —
+    including all batched entry points, which detect the missing
+    automaton and take the per-sequence tree walk instead. Results are
+    identical either way — this exists for debugging and for measuring
+    the speedup end to end. *)
+
+(** {1 Batch scoring} *)
+
+type batch
+(** Reusable scratch columns for {!score_batch}: per-lane Kadane
+    accumulators and segment bounds, held in pre-sized unboxed arrays
+    so a scan allocates nothing per symbol or per lane. One [batch] is
+    single-owner mutable state — use one per worker domain (e.g. one
+    per [Par.map_chunks] chunk), never shared concurrently. *)
+
+val batch_create : ?capacity:int -> unit -> batch
+(** A fresh scratch sized for [capacity] lanes (default 64); grows
+    geometrically on demand inside {!score_batch}. *)
+
+val batch_capacity : batch -> int
+(** Current lane capacity (for tests). *)
+
+val score_batch : t -> log_background:float array -> batch:batch -> Sequence.t array -> unit
+(** [score_batch t ~log_background ~batch seqs] runs the automaton over
+    every sequence of the block, lane-major: each lane is scanned to
+    completion with its accumulators in the scratch columns, so the
+    block costs zero heap words per symbol while every sequence streams
+    through cache linearly. Results are read back with
+    {!batch_log_sim} / {!batch_seg_lo} / {!batch_seg_hi} at the lane's
+    index in [seqs]; they are bit-for-bit identical to
+    [Similarity.score_psa] on each sequence individually (empty lanes
+    yield [neg_infinity] with bounds [-1,-1], matching
+    [Similarity.empty_result]).
+
+    Raises [Invalid_argument] if any symbol lies outside
+    [\[0, alphabet_size)] or [log_background] is shorter than the
+    alphabet. *)
+
+val batch_log_sim : batch -> int -> float
+(** [batch_log_sim b j] is the log-similarity of lane [j] from the last
+    {!score_batch} call on [b]. *)
+
+val batch_seg_lo : batch -> int -> int
+(** Start index of lane [j]'s winning segment. *)
+
+val batch_seg_hi : batch -> int -> int
+(** End index (inclusive) of lane [j]'s winning segment. *)

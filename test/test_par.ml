@@ -132,6 +132,36 @@ let test_cluseq_identical_across_domain_counts () =
       Alcotest.(check (float 0.0)) (tag "quality headline identical") base_acc acc)
     [ 2; 4 ]
 
+(* The reclustering scan is now batched (one automaton over a block of
+   lanes, Cluseq.scan_block sequences per task): pin down that the
+   batched path is deterministic across domain counts AND that it equals
+   the unbatched tree walk — [--no-psa] disables compilation, so every
+   score falls back to the per-sequence tree walk, which must produce
+   the identical clustering bit for bit. *)
+let test_batched_reclustering_identical_across_domains_and_no_psa () =
+  let db, _ = Lazy.force db_and_truth in
+  let run ~psa d =
+    with_domains d (fun () ->
+        let saved = Psa.enabled () in
+        Psa.set_enabled psa;
+        Fun.protect
+          ~finally:(fun () -> Psa.set_enabled saved)
+          (fun () -> Cluseq.run ~config db))
+  in
+  let base = run ~psa:true 1 in
+  let strip (r : Cluseq.result) =
+    (r.clusters, r.assignments, r.best, r.outliers, r.final_t, r.iterations)
+  in
+  List.iter
+    (fun (psa, d, tag) ->
+      let r = run ~psa d in
+      Alcotest.(check bool) tag true (strip r = strip base))
+    [
+      (true, 4, "batched @4 domains = batched @1");
+      (false, 1, "tree walk @1 = batched @1");
+      (false, 4, "tree walk @4 = batched @1");
+    ]
+
 let test_classifier_identical_across_domain_counts () =
   let db, _ = Lazy.force db_and_truth in
   let result = with_domains 1 (fun () -> Cluseq.run ~config db) in
@@ -190,6 +220,8 @@ let () =
         [
           Alcotest.test_case "cluseq run identical" `Quick
             test_cluseq_identical_across_domain_counts;
+          Alcotest.test_case "batched reclustering identical (domains × psa)" `Quick
+            test_batched_reclustering_identical_across_domains_and_no_psa;
           Alcotest.test_case "classifier batch identical" `Quick
             test_classifier_identical_across_domain_counts;
           Alcotest.test_case "kmedoids identical" `Quick

@@ -1,7 +1,8 @@
 (* Tests for the compiled scoring automaton (Psa): structural units plus
    QCheck properties asserting *exact* float equality between the
    compiled scan and the tree walk — the bit-for-bit contract the fuzz
-   oracle (Check.psa_scoring_matches) also enforces. *)
+   oracle (Check.psa_scoring_matches) also enforces — and between the
+   batched kernel and the serial scan (Check.batch_scoring_matches). *)
 
 open Gen_common
 
@@ -16,21 +17,24 @@ let test_empty_tree () =
   Alcotest.(check int) "alphabet" 26 (Psa.alphabet_size psa);
   Alcotest.(check int) "root depth" 0 (Psa.prediction_depth psa 0);
   let n = Psa.alphabet_size psa in
-  Array.iter
-    (fun q -> Alcotest.(check bool) "self-loop" true (q = 0))
-    (Psa.transitions psa);
-  Alcotest.(check int) "table size" n (Array.length (Psa.transitions psa))
+  for sym = 0 to n - 1 do
+    Alcotest.(check int) "self-loop" 0 (Psa.step psa 0 sym)
+  done;
+  Alcotest.(check int) "table size" n (Bigarray.Array1.dim (Psa.transitions psa))
 
 let test_transitions_in_range () =
   let pst = build_pst [ "abcabcabc"; "abcbabcba"; "aaaabbbb" ] in
   let psa = Psa.compile pst in
   let ns = Psa.n_states psa in
   Alcotest.(check bool) "has non-root states" true (ns > 1);
-  Array.iter
-    (fun q -> Alcotest.(check bool) "state in range" true (q >= 0 && q < ns))
-    (Psa.transitions psa);
-  Alcotest.(check int) "table shape" (ns * 26) (Array.length (Psa.transitions psa));
-  Alcotest.(check int) "emit shape" (ns * 26) (Array.length (Psa.emissions psa))
+  let trans = Psa.transitions psa in
+  for i = 0 to Bigarray.Array1.dim trans - 1 do
+    let q = Bigarray.Array1.get trans i in
+    Alcotest.(check bool) "state in range" true (q >= 0 && q < ns)
+  done;
+  Alcotest.(check int) "table shape" (ns * 26) (Bigarray.Array1.dim (Psa.transitions psa));
+  Alcotest.(check int) "emit shape" (ns * 26) (Bigarray.Array1.dim (Psa.emissions psa));
+  Alcotest.(check bool) "tables account their bytes" true (Psa.table_bytes psa >= 16 * ns * 26)
 
 let test_empty_sequence () =
   let pst = build_pst [ "abab" ] in
@@ -48,7 +52,12 @@ let test_symbol_out_of_alphabet () =
   let lbg = Array.make 26 (log (1.0 /. 26.0)) in
   Alcotest.check_raises "symbol 25 vs alphabet 4"
     (Invalid_argument "Similarity.score_psa: symbol outside the compiled alphabet")
-    (fun () -> ignore (Similarity.score_psa psa ~log_background:lbg (seq_of "abz")))
+    (fun () -> ignore (Similarity.score_psa psa ~log_background:lbg (seq_of "abz")));
+  let batch = Psa.batch_create () in
+  Alcotest.check_raises "batched symbol 25 vs alphabet 4"
+    (Invalid_argument "Psa.score_batch: symbol outside the compiled alphabet")
+    (fun () ->
+      ignore (Similarity.score_batch psa ~log_background:lbg ~batch [| seq_of "abz" |]))
 
 let test_validate_log_background () =
   Similarity.validate_log_background uniform_lbg;
@@ -61,6 +70,30 @@ let test_validate_log_background () =
   rejects [| -1.0; neg_infinity |];
   rejects [| nan |];
   rejects [| 0.5 |]
+
+(* --- batch units: block shapes the properties may hit rarely --- *)
+
+let test_batch_shapes () =
+  let pst = build_pst [ "abcabcabc"; "aabbaabb" ] in
+  let psa = Psa.compile pst in
+  let batch = Psa.batch_create ~capacity:1 () in
+  let score_serial s = Similarity.score_psa psa ~log_background:uniform_lbg s in
+  let check_block name block =
+    let got = Similarity.score_batch psa ~log_background:uniform_lbg ~batch block in
+    let want = Array.map score_serial block in
+    Alcotest.(check bool) name true (got = want)
+  in
+  check_block "empty block" [||];
+  check_block "singleton block" [| seq_of "abcab" |];
+  check_block "block of empties" [| seq_of ""; seq_of "" |];
+  (* Mixed lengths out of order: exercises the longest-first lane sort
+     and lane retirement; includes an empty lane in the middle. *)
+  check_block "mixed lengths"
+    [| seq_of "ab"; seq_of "abcabcabcabc"; seq_of ""; seq_of "b"; seq_of "aabb" |];
+  (* The capacity-1 scratch has grown by now; a small block after a large
+     one checks stale columns are re-initialized. *)
+  check_block "small after large" [| seq_of "ba" |];
+  Alcotest.(check bool) "scratch grew" true (Psa.batch_capacity batch >= 5)
 
 (* --- properties: exact equality with the tree walk --- *)
 
@@ -77,6 +110,18 @@ let exact_match pst probes =
          = Similarity.score_psa psa ~log_background:uniform_lbg s)
     probes
 
+(* The whole probe list scored as ONE block must reproduce both the
+   serial compiled scan and the tree walk, record for record — the
+   [result] records carry the float bits, so [=] is exact equality. *)
+let exact_batch_match pst probes =
+  let psa = Psa.compile pst in
+  let block = Array.of_list (List.map seq_of probes) in
+  let batch = Psa.batch_create ~capacity:1 () in
+  let batched = Similarity.score_batch psa ~log_background:uniform_lbg ~batch block in
+  let serial = Array.map (Similarity.score_psa psa ~log_background:uniform_lbg) block in
+  let tree = Array.map (Similarity.score pst ~log_background:uniform_lbg) block in
+  batched = serial && batched = tree
+
 let arb_texts_and_probes ?last () =
   QCheck.pair (texts_gen ~max_seqs:4 ()) (texts_gen ~min_seqs:1 ~max_seqs:3 ?last ())
 
@@ -87,6 +132,16 @@ let prop name ?p_min ?significance ?(last = 'd') ?(prune = false) () =
       let pst = build_pst ?p_min ?significance texts in
       if prune then Pst.prune_to pst (max 1 (Pst.n_nodes pst / 2));
       exact_match pst probes)
+
+let batch_prop name ?p_min ?significance ?(last = 'd') ?(prune = false) () =
+  QCheck.Test.make ~name ~count:150
+    (* min_seqs:0 admits the empty block; max_seqs:6 gives blocks larger
+       than the scratch's initial capacity. *)
+    (QCheck.pair (texts_gen ~max_seqs:4 ()) (texts_gen ~min_seqs:0 ~max_seqs:6 ~last ()))
+    (fun (texts, probes) ->
+      let pst = build_pst ?p_min ?significance texts in
+      if prune then Pst.prune_to pst (max 1 (Pst.n_nodes pst / 2));
+      exact_batch_match pst probes)
 
 let qcheck_tests =
   [
@@ -102,7 +157,12 @@ let qcheck_tests =
     QCheck_alcotest.to_alcotest (prop "psa = tree walk (pruned tree)" ~prune:true ());
     QCheck_alcotest.to_alcotest
       (prop "psa = tree walk (pruned, p_min = 0.01)" ~prune:true ~p_min:0.01 ());
-    (* The fuzz oracle itself: no violations on random trees/probes. *)
+    QCheck_alcotest.to_alcotest (batch_prop "batch = serial = tree walk" ());
+    QCheck_alcotest.to_alcotest
+      (batch_prop "batch = serial = tree walk (absent symbols)" ~last:'z' ());
+    QCheck_alcotest.to_alcotest
+      (batch_prop "batch = serial = tree walk (pruned tree)" ~prune:true ());
+    (* The fuzz oracles themselves: no violations on random trees/probes. *)
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"Check.psa_scoring_matches finds no violations" ~count:100
          (arb_texts_and_probes ())
@@ -110,6 +170,14 @@ let qcheck_tests =
            let pst = build_pst texts in
            let probes = Array.of_list (List.map seq_of probes) in
            Check.psa_scoring_matches pst ~log_background:uniform_lbg probes = []));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"Check.batch_scoring_matches finds no violations" ~count:100
+         (arb_texts_and_probes ())
+         (fun (texts, probes) ->
+           let pst = build_pst texts in
+           let probes = Array.of_list (List.map seq_of probes) in
+           let blocks = [ [||]; probes; [| [||] |]; Array.sub probes 0 1 ] in
+           Check.batch_scoring_matches pst ~log_background:uniform_lbg blocks = []));
   ]
 
 let () =
@@ -122,6 +190,7 @@ let () =
           Alcotest.test_case "empty sequence" `Quick test_empty_sequence;
           Alcotest.test_case "symbol out of alphabet" `Quick test_symbol_out_of_alphabet;
           Alcotest.test_case "validate_log_background" `Quick test_validate_log_background;
+          Alcotest.test_case "batch block shapes" `Quick test_batch_shapes;
         ] );
       ("property", qcheck_tests);
     ]
