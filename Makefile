@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one CI should run.
 
-.PHONY: all build test bench bench-smoke trace-smoke check fuzz coverage fmt fmt-check clean
+.PHONY: all build test bench bench-smoke trace-smoke shard-smoke check fuzz coverage fmt fmt-check clean
 
 all: build
 
@@ -50,6 +50,42 @@ trace-smoke: build
 	rm -rf $$tmp; \
 	echo "trace-smoke: OK"
 
+# Shard-and-merge smoke gate (DESIGN.md §14): cluster a synthetic file
+# with --shards 4 while recording a flight-recorder trace, re-parse the
+# trace (per-shard lanes land on worker-domain tracks, so it must show
+# >= 2 domains), then run the audited 4-shard clustering gate over the
+# same file (`cluseq check FILE --shards 4`: serial reclustering replay
+# inside every shard + merged-result invariants). On multi-core
+# machines the 4-shard run must also beat the 1-shard wall clock;
+# single-core machines skip that assertion — there is no parallelism
+# to win.
+shard-smoke: build
+	@tmp=$$(mktemp -d); \
+	dune exec bin/cluseq_cli.exe -- generate --kind synthetic --num 360 --len 100 \
+	  --clusters 3 --contexts 120 --seed 11 -o $$tmp/shard.tsv >/dev/null; \
+	dune exec bin/cluseq_cli.exe -- cluster $$tmp/shard.tsv --k-init 2 \
+	  --significance 8 --min-residual 8 --max-iterations 30 --seed 4 \
+	  --shards 4 --domains 4 --trace-out $$tmp/trace.json >/dev/null 2>&1; \
+	dune exec bench/main.exe -- trace-validate $$tmp/trace.json \
+	  || { echo "shard-smoke: trace validation FAILED"; rm -rf $$tmp; exit 1; }; \
+	dune exec bin/cluseq_cli.exe -- check $$tmp/shard.tsv --shards 4 --domains 4 \
+	  || { echo "shard-smoke: audited 4-shard check FAILED"; rm -rf $$tmp; exit 1; }; \
+	if [ "$$(nproc)" -gt 1 ]; then \
+	  t1=$$( { time -p dune exec bin/cluseq_cli.exe -- cluster $$tmp/shard.tsv --k-init 2 \
+	    --significance 8 --min-residual 8 --max-iterations 30 --seed 4 \
+	    --shards 1 --domains 4 >/dev/null 2>&1; } 2>&1 | awk '/^real/ {print $$2}'); \
+	  t4=$$( { time -p dune exec bin/cluseq_cli.exe -- cluster $$tmp/shard.tsv --k-init 2 \
+	    --significance 8 --min-residual 8 --max-iterations 30 --seed 4 \
+	    --shards 4 --domains 4 >/dev/null 2>&1; } 2>&1 | awk '/^real/ {print $$2}'); \
+	  echo "shard-smoke: 1-shard $${t1}s, 4-shard $${t4}s"; \
+	  awk -v a="$$t4" -v b="$$t1" 'BEGIN { exit !(a+0 < b+0) }' \
+	    || { echo "shard-smoke: 4 shards not faster than 1 ($${t4}s >= $${t1}s)"; rm -rf $$tmp; exit 1; }; \
+	else \
+	  echo "shard-smoke: single core; skipping the wall-clock assertion"; \
+	fi; \
+	rm -rf $$tmp; \
+	echo "shard-smoke: OK"
+
 # Deterministic fuzz sweep over every correctness oracle (differential
 # PST, brute-force similarity, serial reclustering replay, 1-vs-4-domain
 # determinism, sketch-gated vs full reclustering scan). A failure prints
@@ -60,9 +96,9 @@ fuzz: build
 
 # Full gate: build, unit tests, the fuzz sweep, the formatting check,
 # the CLI metrics smoke run (generate -> cluster --metrics -> grep),
-# the perf regression smoke gate, and the flight-recorder trace smoke
-# gate.
-check: build test fuzz fmt-check bench-smoke trace-smoke
+# the perf regression smoke gate, the flight-recorder trace smoke
+# gate, and the shard-and-merge smoke gate.
+check: build test fuzz fmt-check bench-smoke trace-smoke shard-smoke
 	@tmp=$$(mktemp -d); \
 	dune exec bin/cluseq_cli.exe -- generate --kind synthetic --num 60 --len 60 \
 	  --clusters 3 -o $$tmp/smoke.tsv >/dev/null; \

@@ -25,8 +25,14 @@ let quality : (string * float) option ref = ref None
 let reset_quality () = quality := None
 let set_quality metric v = if !quality = None then quality := Some (metric, v)
 
-let score_cluseq ?(config = Cluseq.default_config) db =
-  let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
+(* Harness-level shard count (--shards): experiments that cluster through
+   [score_cluseq] honor it, and it is recorded in the BENCH env block so
+   `bench compare` refuses to diff runs with different shard settings. *)
+let shards = ref 1
+
+let score_cluseq ?(config = Cluseq.default_config) ?shards:s db =
+  let shards = match s with Some s -> s | None -> !shards in
+  let result, seconds = Timer.time (fun () -> Shard.run ~config ~shards db) in
   {
     labels = Cluseq.hard_labels result ~n:(Seq_database.n_sequences db);
     n_clusters = result.n_clusters;

@@ -479,6 +479,40 @@ let ablation scale =
     (Metrics.normalized_mutual_information ~truth:sub_truth ~pred:cl_labels)
     cl_secs
 
+(* ------------------------------------------------------------------ *)
+(* Shard-and-merge speedup (extension beyond the paper)                *)
+(* ------------------------------------------------------------------ *)
+
+let shard scale =
+  (* 10x the standard synthetic workload: coarse-grained sharding needs
+     databases big enough that every shard still clears the statistical
+     floors (significance / min-residual) on its partition. *)
+  let data = synth_workload ~n:6000 ~len:150 ~seed:16 scale in
+  let truth = data.labels in
+  note "workload: %d sequences, %d families, %d domains\n"
+    (Seq_database.n_sequences data.db) 8 (Par.default_domains ());
+  let base = ref 0.0 in
+  let rows =
+    List.map
+      (fun shards ->
+        let r = score_cluseq ~config:synth_config ~shards data.db in
+        if shards = 1 then base := r.seconds;
+        let speedup = if r.seconds > 0.0 then !base /. r.seconds else 0.0 in
+        [
+          string_of_int shards;
+          string_of_int r.n_clusters;
+          Printf.sprintf "%.0f" (pct (accuracy ~truth r.labels));
+          Printf.sprintf "%.1f" r.seconds;
+          Printf.sprintf "%.2fx" speedup;
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  table
+    ~title:
+      "Shard-and-merge: response time vs shard count (extension; speedup needs --domains > 1)"
+    ~header:[ "Shards"; "Clusters"; "Accuracy %"; "Time (s)"; "Speedup" ]
+    rows
+
 let all : (string * string * (float -> unit)) list =
   [
     ("table2", "Model comparison on the protein database", table2);
@@ -494,4 +528,5 @@ let all : (string * string * (float -> unit)) list =
     ("fig6c", "Scalability: length", fig6c);
     ("fig6d", "Scalability: alphabet", fig6d);
     ("ablation", "Design-choice ablations", ablation);
+    ("shard", "Shard-and-merge speedup", shard);
   ]

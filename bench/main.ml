@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- table2 fig4  # selected experiments
      dune exec bench/main.exe -- --scale 0.5  # half-size workloads
      dune exec bench/main.exe -- --domains 4  # domain-pool size (1 = serial)
+     dune exec bench/main.exe -- --shards 4   # shard count experiments honor (1 = unsharded)
      dune exec bench/main.exe -- --no-index   # disable the candidate index
      dune exec bench/main.exe -- --index-ratio 0.3  # arm the sketch gate (default 0 = off)
      dune exec bench/main.exe -- --list       # experiment inventory
@@ -217,6 +218,10 @@ let () =
             let v, rest = operand ~flag:"--domains" rest in
             Par.set_default_domains (positive_int ~flag:"--domains" v);
             parse rest
+        | "--shards" :: rest ->
+            let v, rest = operand ~flag:"--shards" rest in
+            Bench_util.shards := positive_int ~flag:"--shards" v;
+            parse rest
         | "--no-index" :: rest ->
             Index.set_enabled false;
             parse rest
@@ -313,7 +318,7 @@ let () =
             {
               Bench_report.env =
                 Bench_report.collect_env ~label:(label_of_record_path file) ~scale:!scale
-                  ~domains:(Par.default_domains ());
+                  ~domains:(Par.default_domains ()) ~shards:!Bench_util.shards;
               experiments = List.rev !recorded;
               micro = micro_rows;
             }

@@ -211,6 +211,22 @@ let obs_term =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the database into $(docv) deterministic shards, run the full CLUSEQ \
+           loop per shard concurrently on the domain pool, and merge the per-shard models \
+           into consolidated clusters (counts-added PSTs; cross-shard cluster pairs under a \
+           symmetrized-KL threshold are unioned — see DESIGN.md §14). 1 is exactly the \
+           unsharded run. Defaults to the $(b,CLUSEQ_SHARDS) environment variable, or 1.")
+
+let resolve_shards = function
+  | Some s -> s
+  | None -> Option.value ~default:1 (Shard.env_shards ())
+
 let file_arg p =
   Arg.(required & pos p (some string) None & info [] ~docv:"FILE" ~doc:"Sequence file (label<TAB>sequence lines).")
 
@@ -336,10 +352,11 @@ let cluster_cmd =
   let assignments_out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write per-sequence assignments (id, clusters) to FILE.")
   in
-  let run vcount file config assignments_out =
+  let run vcount file config shards assignments_out =
+    let shards = resolve_shards shards in
     let alphabet, rows = Seq_io.read_labeled file in
     let db, _labels = Seq_io.to_database alphabet rows in
-    let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
+    let result, seconds = Timer.time (fun () -> Shard.run ~config ~shards db) in
     Printf.printf "clusters: %d  iterations: %d  final t: %.4g  outliers: %d  time: %.2fs\n"
       result.n_clusters result.iterations result.final_t (List.length result.outliers) seconds;
     if vcount > 0 then
@@ -375,7 +392,7 @@ let cluster_cmd =
               result.assignments);
         Printf.printf "assignments written to %s\n" out
   in
-  let term = Term.(const run $ obs_term $ file_arg 0 $ config_args $ assignments_out) in
+  let term = Term.(const run $ obs_term $ file_arg 0 $ config_args $ shards_arg $ assignments_out) in
   Cmd.v (Cmd.info "cluster" ~doc:"Run CLUSEQ on a sequence file.") term
 
 (* ------------------------------------------------------------------ *)
@@ -386,10 +403,11 @@ let train_cmd =
   let model_out =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trained classifier model to FILE.")
   in
-  let run _vcount file config model_out =
+  let run _vcount file config shards model_out =
+    let shards = resolve_shards shards in
     let alphabet, rows = Seq_io.read_labeled file in
     let db, _ = Seq_io.to_database alphabet rows in
-    let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
+    let result, seconds = Timer.time (fun () -> Shard.run ~config ~shards db) in
     Printf.printf "clusters: %d  final t: %.4g  time: %.2fs
 " result.n_clusters
       result.final_t seconds;
@@ -399,7 +417,7 @@ let train_cmd =
 " model_out
       (Classifier.n_clusters clf)
   in
-  let term = Term.(const run $ obs_term $ file_arg 0 $ config_args $ model_out) in
+  let term = Term.(const run $ obs_term $ file_arg 0 $ config_args $ shards_arg $ model_out) in
   Cmd.v
     (Cmd.info "train" ~doc:"Cluster a sequence file and save the models for later classification.")
     term
@@ -440,14 +458,15 @@ let classify_cmd =
 (* ------------------------------------------------------------------ *)
 
 let evaluate_cmd =
-  let run _vcount file config =
+  let run _vcount file config shards =
+    let shards = resolve_shards shards in
     let alphabet, rows = Seq_io.read_labeled file in
     let db, label_names = Seq_io.to_database alphabet rows in
     (* Ground truth: numeric labels, "-1" marking outliers. *)
     let truth =
       Array.map (fun l -> match int_of_string_opt l with Some v -> v | None -> -1) label_names
     in
-    let result, seconds = Timer.time (fun () -> Cluseq.run ~config db) in
+    let result, seconds = Timer.time (fun () -> Shard.run ~config ~shards db) in
     let n = Seq_database.n_sequences db in
     let hard = Cluseq.hard_labels result ~n in
     let pred_class = Matching.relabel ~truth ~pred:hard in
@@ -463,7 +482,7 @@ let evaluate_cmd =
     Printf.printf "outlier detection: precision %.1f%% recall %.1f%%\n"
       (100.0 *. out.precision) (100.0 *. out.recall)
   in
-  let term = Term.(const run $ obs_term $ file_arg 0 $ config_args) in
+  let term = Term.(const run $ obs_term $ file_arg 0 $ config_args $ shards_arg) in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Cluster a labeled file and score against its ground truth.")
     term
@@ -501,7 +520,8 @@ let explain_cmd =
   in
   let fint k fields = Option.bind (List.assoc_opt k fields) Bench_json.to_int in
   let ffloat k fields = Option.bind (List.assoc_opt k fields) Bench_json.to_float in
-  let run _vcount file seq_id config cluster_opt top =
+  let run _vcount file seq_id config shards cluster_opt top =
+    let shards = resolve_shards shards in
     let alphabet, rows = Seq_io.read_labeled file in
     let db, _ = Seq_io.to_database alphabet rows in
     let n = Seq_database.n_sequences db in
@@ -520,7 +540,7 @@ let explain_cmd =
            with Sys_error msg -> die "cannot open journal: %s" msg);
           Some tmp
     in
-    let result = Cluseq.run ~config db in
+    let result = Shard.run ~config ~shards db in
     Obs.Journal.flush ();
     let jpath =
       match Obs.Journal.current_path () with Some p -> p | None -> die "journal vanished"
@@ -569,9 +589,31 @@ let explain_cmd =
               | l ->
                   Printf.sprintf " (members absorbed by %s)"
                     (String.concat ", " (List.map string_of_int l)))
+        (* Sharded runs suspend the per-shard journal, so the history
+           above is empty; the merge-phase provenance still answers
+           "why did my shard-local cluster disappear" — print the
+           consolidations that formed any cluster this sequence ended
+           up in. *)
+        | "shard.consolidated"
+          when List.mem
+                 (Option.value ~default:(-1) (fint "into" e.j_fields))
+                 result.assignments.(seq_id) ->
+            incr printed;
+            Printf.printf
+              "  merge: shard-local cluster %d (shard %d) consolidated into cluster %d \
+               (divergence %.3f)\n"
+              cl
+              (Option.value ~default:(-1) (fint "shard" e.j_fields))
+              (Option.value ~default:(-1) (fint "into" e.j_fields))
+              (Option.value ~default:Float.nan (ffloat "divergence" e.j_fields))
         | _ -> ())
       entries;
-    if !printed = 0 then Printf.printf "  (no membership changes — never joined a cluster)\n";
+    if !printed = 0 then
+      if shards > 1 then
+        Printf.printf
+          "  (no merge-phase events for this sequence; per-shard iteration journals are \
+           suspended in sharded runs)\n"
+      else Printf.printf "  (no membership changes — never joined a cluster)\n";
     (match result.assignments.(seq_id) with
     | [] -> Printf.printf "final: outlier (member of no cluster)\n"
     | cs ->
@@ -628,7 +670,9 @@ let explain_cmd =
       idx
   in
   let term =
-    Term.(const run $ obs_term $ file_arg 0 $ seq_arg $ config_args $ cluster_arg $ top_arg)
+    Term.(
+      const run $ obs_term $ file_arg 0 $ seq_arg $ config_args $ shards_arg $ cluster_arg
+      $ top_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -661,7 +705,8 @@ let check_cmd =
              (serial reclustering replay + invariants every iteration) and verify the final \
              result.")
   in
-  let run _vcount fuzz_n seed file =
+  let run _vcount fuzz_n seed shards file =
+    let shards = resolve_shards shards in
     match file with
     | Some f ->
         let alphabet, rows = Seq_io.read_labeled f in
@@ -673,7 +718,7 @@ let check_cmd =
           { (Cluseq.scaled_config ~expected_cluster_size:(max 1 (n / 10)) ()) with seed }
         in
         Check.install_auditor ();
-        (match Cluseq.run ~config db with
+        (match Shard.run ~config ~shards db with
         | exception Check.Violation msgs ->
             List.iter (Printf.eprintf "violation: %s\n") msgs;
             exit 1
@@ -681,8 +726,9 @@ let check_cmd =
             match Check.result_invariants ~n result with
             | [] ->
                 Printf.printf
-                  "ok: audited run over %s: %d clusters in %d iterations, every oracle and \
-                   invariant holds\n"
+                  "ok: audited %srun over %s: %d clusters in %d iterations, every oracle \
+                   and invariant holds\n"
+                  (if shards > 1 then Printf.sprintf "%d-shard " shards else "")
                   f result.n_clusters result.iterations;
                 (* With --index-ratio R the user is considering the
                    opt-in sketch gate: also compare gated vs full final
@@ -717,7 +763,7 @@ let check_cmd =
             Format.eprintf "%a@." Fuzz.pp_failure failure;
             exit 1)
   in
-  let term = Term.(const run $ obs_term $ fuzz $ seed_arg $ file) in
+  let term = Term.(const run $ obs_term $ fuzz $ seed_arg $ shards_arg $ file) in
   Cmd.v
     (Cmd.info "check"
        ~doc:

@@ -182,6 +182,14 @@ let compare_reports ?(threshold_pct = 25.0) ?(quality_threshold_pct = 2.0)
     Error
       (Printf.sprintf "incomparable runs: base --domains %d vs candidate --domains %d"
          base.env.domains candidate.env.domains)
+  else if
+    (* 0 = pre-shard-and-merge file with no shards field: wildcard. *)
+    base.env.shards > 0 && candidate.env.shards > 0
+    && base.env.shards <> candidate.env.shards
+  then
+    Error
+      (Printf.sprintf "incomparable runs: base --shards %d vs candidate --shards %d"
+         base.env.shards candidate.env.shards)
   else begin
     let acc = ref [] in
     let push v = acc := v :: !acc in

@@ -18,6 +18,7 @@ type env = {
   hostname : string;
   word_size : int;
   domains : int;
+  shards : int;
 }
 
 type census = {
@@ -116,7 +117,7 @@ let hostname () =
   | Some h when String.trim h <> "" -> String.trim h
   | _ -> ( match Sys.getenv_opt "HOSTNAME" with Some h when h <> "" -> h | _ -> "unknown")
 
-let collect_env ~label ~scale ~domains =
+let collect_env ~label ~scale ~domains ~shards =
   {
     label;
     git_rev = git_rev ();
@@ -125,6 +126,7 @@ let collect_env ~label ~scale ~domains =
     hostname = hostname ();
     word_size = Sys.word_size;
     domains;
+    shards;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -195,6 +197,7 @@ let env_to_json (e : env) =
       ("hostname", Str e.hostname);
       ("word_size", num_i e.word_size);
       ("domains", num_i e.domains);
+      ("shards", num_i e.shards);
     ]
 
 let gc_to_json (d : Obs.Resource.gc_delta) ~peak =
@@ -298,6 +301,8 @@ let env_of_json json =
     (* Files written before the parallel engine lack this field; 0 means
        "unknown" and comparisons treat it as a wildcard. *)
     domains = get_i [ "domains" ] json;
+    (* Same wildcard convention for files written before shard-and-merge. *)
+    shards = get_i [ "shards" ] json;
   }
 
 let experiment_of_json id json =

@@ -29,6 +29,10 @@ type env = {
       (** Domain-pool size the run used ([Par.default_domains]); 0 in
           files written before the parallel engine existed, which
           comparisons treat as a wildcard. *)
+  shards : int;
+      (** Shard count the harness ran with ([--shards]); 0 in files
+          written before shard-and-merge existed, which comparisons
+          treat as a wildcard. *)
 }
 
 type census = {
@@ -119,11 +123,12 @@ val minor_words_per_symbol : experiment -> float
     number the off-heap batched scorer ratchets. Derived from existing
     schema-v2 fields, so it compares against old baselines. *)
 
-val collect_env : label:string -> scale:float -> domains:int -> env
+val collect_env : label:string -> scale:float -> domains:int -> shards:int -> env
 (** Probe the environment: git rev from [.git/HEAD] (following the ref,
     including packed refs), hostname from [/proc] or [$HOSTNAME]; both
     degrade to ["unknown"]. [domains] is the domain-pool size in effect
-    for the run (pass [Par.default_domains ()]). *)
+    for the run (pass [Par.default_domains ()]); [shards] the harness
+    [--shards] setting (1 when unsharded). *)
 
 val capture :
   id:string ->

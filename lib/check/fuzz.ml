@@ -144,6 +144,29 @@ let run_case ?(on_divergence = ignore) case =
   in
   add_all "batch" (Check.batch_scoring_matches pst ~log_background:lbg batch_blocks);
   add_all "batch-pruned" (Check.batch_scoring_matches pruned ~log_background:lbg batch_blocks);
+  (* Merge oracle (check #7): splitting the training set in two, building
+     each half independently and counts-merging must reproduce the tree
+     built over the whole set exactly — structure, counts, and the scores
+     derived from them (the shard-and-merge contract, DESIGN.md §14).
+     Holds because max_nodes is far above these workloads: no pruning. *)
+  let half = Array.length case.seqs / 2 in
+  let build_half lo hi =
+    let t = Pst.create pcfg in
+    for i = lo to hi - 1 do
+      Pst.insert_sequence t case.seqs.(i)
+    done;
+    t
+  in
+  let merged = Pst.merge (build_half 0 half) (build_half half (Array.length case.seqs)) in
+  if not (Pst.equal_structure pst merged) then
+    err "merge: half-and-half merged tree differs from whole-database tree";
+  Array.iter
+    (fun s ->
+      let a = (Similarity.score pst ~log_background:lbg s).log_sim in
+      let b = (Similarity.score merged ~log_background:lbg s).log_sim in
+      if not (Float.equal a b) then
+        err "merge: merged-tree score %.17g <> whole-tree score %.17g" b a)
+    case.probes;
   (* --- 3. audited clustering at 1 vs 4 domains --- *)
   let saved = Par.default_domains () in
   Fun.protect ~finally:(fun () ->

@@ -1,0 +1,446 @@
+(* Shard-and-merge orchestration. See shard.mli and DESIGN.md §14. *)
+
+let log_src = Logs.Src.create "shard" ~doc:"Shard-and-merge orchestration"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_shard_runs = Obs.Metrics.counter "cluseq.shard.runs"
+let m_consolidations = Obs.Metrics.counter "cluseq.shard.consolidations"
+let m_fixup_rescored = Obs.Metrics.counter "cluseq.shard.fixup_rescored"
+let g_shard_count = Obs.Metrics.gauge "cluseq.shard.count"
+let h_shard_run_seconds = Obs.Metrics.histogram "cluseq.shard.run_seconds"
+let h_merge_seconds = Obs.Metrics.histogram "cluseq.shard.merge_seconds"
+
+(* Flight-recorder lane: one [shard.run] duration event per shard on
+   the executing domain's ring (arg = shard index), so the Perfetto
+   export shows each shard as a block on its worker's track. *)
+let rec_shard_run = Obs.Recorder.intern "shard.run"
+
+(* The divergence PREFILTER for consolidation candidates — not the
+   decision rule. Measured same-family and different-family divergence
+   bands move with the per-shard sample size and overlap across
+   workloads (DESIGN.md §14), so no absolute threshold can decide a
+   merge; the cap only discards pairs saturated at the smoothing
+   ceiling (per-symbol log ratios are bounded by log(1/p_min) ≈ 6.9
+   with p_min = 1e-3; foreign models measure ≥ 6.5 once both are well
+   trained). The decision is the cross-acceptance score test in
+   [run]. *)
+let default_merge_divergence = 6.5
+
+let clamp lo hi v = max lo (min hi v)
+
+let env_shards () =
+  match Sys.getenv_opt "CLUSEQ_SHARDS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> Some (clamp 1 64 v)
+      | _ -> None)
+
+(* SplitMix64 finalizer: the same mixer [Rng] builds on, used here as a
+   stateless hash so shard membership is a pure function of (seed, id). *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let shard_of_id ~seed ~shards id =
+  if shards <= 1 then 0
+  else
+    let h = mix64 Int64.(add (mul (of_int seed) golden) (of_int (id + 1))) in
+    Int64.to_int (Int64.unsigned_rem h (Int64.of_int shards))
+
+(* Per-shard RNG seed: a function of (run seed, shard index) only, so a
+   shard's run is independent of how many other shards exist and of the
+   order they execute in. Shifted right so the int is non-negative. *)
+let shard_seed seed s =
+  Int64.to_int
+    (Int64.shift_right_logical (mix64 Int64.(logxor (of_int seed) (mul (of_int (s + 1)) golden))) 1)
+
+(* Union-find over global cluster indices with the minimum index as
+   root, so each merged component's survivor is its smallest global id
+   (deterministic and stable under pair ordering). *)
+let rec find parent i = if parent.(i) = i then i else find parent parent.(i)
+
+let union parent i j =
+  let ri = find parent i and rj = find parent j in
+  if ri <> rj then parent.(max ri rj) <- min ri rj
+
+(* One per-shard cluster lifted to the global numbering. *)
+type gcluster = {
+  g_shard : int;
+  g_members : int array; (* global sequence ids, strictly increasing *)
+  g_pst : Pst.t;
+  g_log_t : float; (* the home shard's final log threshold *)
+}
+
+let run ?(config = Cluseq.default_config) ?(shards = 1)
+    ?(merge_divergence = default_merge_divergence) db =
+  let n = Seq_database.n_sequences db in
+  let shards = clamp 1 64 shards in
+  if shards <= 1 then Cluseq.run ~config db
+  else begin
+    let journal_on = Obs.Journal.is_enabled () in
+    if journal_on then
+      Obs.Journal.emit "run.start" (fun () ->
+          [
+            ("sequences", Bench_json.Num (float_of_int n));
+            ("k_init", Bench_json.Num (float_of_int config.Cluseq.k_init));
+            ("t_init", Bench_json.Num config.Cluseq.t_init);
+            ("seed", Bench_json.Num (float_of_int config.Cluseq.seed));
+            ("max_iterations", Bench_json.Num (float_of_int config.Cluseq.max_iterations));
+            ("shards", Bench_json.Num (float_of_int shards));
+          ]);
+    (* --- partition: hash-of-id, empty shards dropped --- *)
+    let seed = config.Cluseq.seed in
+    let owner = Array.init n (fun i -> shard_of_id ~seed ~shards i) in
+    let counts = Array.make shards 0 in
+    Array.iter (fun s -> counts.(s) <- counts.(s) + 1) owner;
+    let ids = Array.map (fun c -> Array.make c 0) counts in
+    let fill = Array.make shards 0 in
+    for i = 0 to n - 1 do
+      let s = owner.(i) in
+      ids.(s).(fill.(s)) <- i;
+      fill.(s) <- fill.(s) + 1
+    done;
+    let live =
+      Array.of_list
+        (List.filter_map
+           (fun s -> if counts.(s) > 0 then Some (s, ids.(s)) else None)
+           (List.init shards Fun.id))
+    in
+    let k = Array.length live in
+    Obs.Metrics.set g_shard_count (float_of_int k);
+    Obs.Metrics.incr ~by:k m_shard_runs;
+    if journal_on then
+      Array.iter
+        (fun (s, ids) ->
+          Obs.Journal.emit "shard.started" (fun () ->
+              [
+                ("shard", Bench_json.Num (float_of_int s));
+                ("sequences", Bench_json.Num (float_of_int (Array.length ids)));
+                ("seed", Bench_json.Num (float_of_int (shard_seed seed s)));
+              ]))
+        live;
+    Log.info (fun m -> m "fanning out %d shards over %d sequences" k n);
+    (* --- per-shard runs: one pool task per shard. The journal is a
+       main-domain single writer, so it is suspended for the duration;
+       nested pool submissions inside each Cluseq.run fall back to
+       inline execution (the pool is busy), so shards never deadlock
+       the pool they run on. --- *)
+    let sub_results =
+      Obs.Journal.with_suspended (fun () ->
+          let pool = Par.get_pool () in
+          Par.map_chunks pool ~chunks:k ~n:k (fun j ->
+              let s, ids = live.(j) in
+              Obs.Recorder.begin_ rec_shard_run ~arg:s;
+              let t0 = Timer.now_ns () in
+              let sub = Seq_database.subset db ids in
+              let r = Cluseq.run ~config:{ config with Cluseq.seed = shard_seed seed s } sub in
+              Obs.Metrics.observe h_shard_run_seconds (Timer.span_s t0 (Timer.now_ns ()));
+              Obs.Recorder.end_ rec_shard_run;
+              r))
+    in
+    if journal_on then
+      Array.iteri
+        (fun j (r : Cluseq.result) ->
+          let s, _ = live.(j) in
+          Obs.Journal.emit "shard.merged" (fun () ->
+              [
+                ("shard", Bench_json.Num (float_of_int s));
+                ("clusters", Bench_json.Num (float_of_int r.Cluseq.n_clusters));
+                ("iterations", Bench_json.Num (float_of_int r.Cluseq.iterations));
+                ("final_t", Bench_json.Num r.Cluseq.final_t);
+              ]))
+        sub_results;
+    let merge_t0 = if Obs.Metrics.is_enabled () then Timer.now_ns () else 0L in
+    (* --- lift per-shard clusters to the global numbering (shard-major
+       order, so ids are deterministic) --- *)
+    let best = Array.make n None in
+    let gs = ref [] in
+    let n_g = ref 0 in
+    Array.iteri
+      (fun j (r : Cluseq.result) ->
+        let s, ids = live.(j) in
+        let base = !n_g in
+        let local_gid = Hashtbl.create 16 in
+        Array.iteri
+          (fun ci (lid, _) -> Hashtbl.replace local_gid lid (base + ci))
+          r.Cluseq.clusters;
+        let log_t = Similarity.log_of_linear r.Cluseq.final_t in
+        Array.iteri
+          (fun ci (lid, lmembers) ->
+            (* clusters and models are index-aligned (same id order) *)
+            let mid, pst = r.Cluseq.models.(ci) in
+            assert (mid = lid);
+            gs :=
+              {
+                g_shard = s;
+                g_members = Array.map (fun l -> ids.(l)) lmembers;
+                g_pst = pst;
+                g_log_t = log_t;
+              }
+              :: !gs)
+          r.Cluseq.clusters;
+        n_g := base + Array.length r.Cluseq.clusters;
+        Array.iteri
+          (fun l b ->
+            best.(ids.(l)) <-
+              Option.bind b (fun (lid, score) ->
+                  Option.map (fun g -> (g, score)) (Hashtbl.find_opt local_gid lid)))
+          r.Cluseq.best)
+      sub_results;
+    let gs = Array.of_list (List.rev !gs) in
+    let m = Array.length gs in
+    let lbg = Seq_database.log_background db in
+    (* --- cross-shard consolidation (DESIGN.md §14). Three stages,
+       because the divergence bands alone cannot decide a merge:
+       1. prefilter — only cross-shard pairs whose symmetrized KL is
+          under [merge_divergence] (pairs at the smoothing ceiling are
+          never the same family); same-shard pairs were already
+          separated by their own run's consolidation pass;
+       2. candidacy — a pair is considered only if one side is the
+          other's nearest neighbour among that shard's clusters (the
+          true counterpart is always the nearest; skipping the rest
+          avoids chaining through moderately-close foreign models);
+       3. decision — mutual cross-acceptance: a strided sample of each
+          side's members must, by majority, clear the pair's lenient
+          retention threshold under the *other* side's model. This is
+          the algorithm's own membership criterion, so it needs no
+          workload-dependent constant. --- *)
+    let d = Array.make_matrix m m infinity in
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        if gs.(i).g_shard <> gs.(j).g_shard then begin
+          let v = Divergence.kl_symmetric gs.(i).g_pst gs.(j).g_pst in
+          d.(i).(j) <- v;
+          d.(j).(i) <- v
+        end
+      done
+    done;
+    (* [accepts a b]: do [b]'s members, by majority of a deterministic
+       strided sample, clear the lenient threshold under [a]'s model? *)
+    let accepts a b =
+      let lt = Float.min gs.(a).g_log_t gs.(b).g_log_t in
+      let members = gs.(b).g_members in
+      let len = Array.length members in
+      let take = min 16 len in
+      let ok = ref 0 in
+      for q = 0 to take - 1 do
+        let id = members.(q * len / take) in
+        let r = Similarity.score gs.(a).g_pst ~log_background:lbg (Seq_database.get db id) in
+        if r.Similarity.log_sim >= lt then incr ok
+      done;
+      2 * !ok >= take
+    in
+    (* Nearest cross-shard neighbour of [i] within shard [s']. *)
+    let nearest i s' =
+      let best = ref (-1) in
+      for j = 0 to m - 1 do
+        if gs.(j).g_shard = s' && (!best < 0 || d.(i).(j) < d.(i).(!best)) then best := j
+      done;
+      !best
+    in
+    let parent = Array.init m Fun.id in
+    for i = 0 to m - 1 do
+      Array.iter
+        (fun (s', _) ->
+          if s' <> gs.(i).g_shard then
+            let j = nearest i s' in
+            if
+              j >= 0
+              && d.(i).(j) < merge_divergence
+              && find parent i <> find parent j
+              && accepts i j && accepts j i
+            then union parent i j)
+        live
+    done;
+    let canon i = find parent i in
+    let comp_members = Array.make m [] in
+    for i = m - 1 downto 0 do
+      comp_members.(canon i) <- i :: comp_members.(canon i)
+    done;
+    (* Journal every absorbed cluster with the divergence against its
+       survivor's original (pre-merge) model — the record `cluseq
+       explain` uses to answer "why did my shard-local cluster
+       disappear". *)
+    for i = 0 to m - 1 do
+      let s = canon i in
+      if s <> i then begin
+        Obs.Metrics.incr m_consolidations;
+        if journal_on then
+          Obs.Journal.emit "shard.consolidated" (fun () ->
+              [
+                ("cluster", Bench_json.Num (float_of_int i));
+                ("into", Bench_json.Num (float_of_int s));
+                ("shard", Bench_json.Num (float_of_int gs.(i).g_shard));
+                ( "divergence",
+                  Bench_json.Num (Divergence.kl_symmetric gs.(s).g_pst gs.(i).g_pst) );
+              ])
+      end
+    done;
+    (* --- merge models and fix up memberships. Only sequences whose
+       home cluster was merged are rescored (against the merged model,
+       with the global database's background); everything else passes
+       through untouched. --- *)
+    let final = ref [] in
+    for s = 0 to m - 1 do
+      match comp_members.(s) with
+      | [] -> ()
+      | [ i ] ->
+          if Array.length gs.(i).g_members > 0 then
+            final := (i, gs.(i).g_members, gs.(i).g_pst, gs.(i).g_log_t) :: !final
+      | (first :: rest) as comp ->
+          let pst =
+            List.fold_left (fun acc i -> Pst.merge acc gs.(i).g_pst) gs.(first).g_pst rest
+          in
+          (* Lenient retention: a sequence stays if it clears the most
+             permissive of its component's home-shard thresholds. *)
+          let log_t = List.fold_left (fun acc i -> Float.min acc gs.(i).g_log_t) infinity comp in
+          let cand = Hashtbl.create 64 in
+          List.iter (fun i -> Array.iter (fun id -> Hashtbl.replace cand id ()) gs.(i).g_members) comp;
+          let cand = List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) cand []) in
+          let members = ref [] in
+          List.iter
+            (fun id ->
+              Obs.Metrics.incr m_fixup_rescored;
+              let r = Similarity.score pst ~log_background:lbg (Seq_database.get db id) in
+              if r.Similarity.log_sim >= log_t then members := id :: !members;
+              if Float.is_finite r.Similarity.log_sim then
+                best.(id) <-
+                  (match best.(id) with
+                  | Some (b, _) when canon b = s -> Some (s, r.Similarity.log_sim)
+                  | Some (_, bs) when r.Similarity.log_sim > bs -> Some (s, r.Similarity.log_sim)
+                  | other -> other))
+            cand;
+          let members = Array.of_list (List.rev !members) in
+          if Array.length members > 0 then final := (s, members, pst, log_t) :: !final
+    done;
+    let final = Array.of_list (List.rev !final) in
+    (* Remap surviving best entries through the union-find so no entry
+       points at an absorbed id; entries may keep a pre-merge score
+       (best is diagnostic — invariants only require finiteness). *)
+    for id = 0 to n - 1 do
+      best.(id) <- Option.map (fun (b, score) -> (canon b, score)) best.(id)
+    done;
+    let member_of = Array.map (fun (_, members, _, _) -> Bitset.of_list n (Array.to_list members)) final in
+    (* --- outlier rescue: a sequence can be an outlier in its shard yet
+       belong to a cluster once that cluster's model has absorbed the
+       other shards' counts — the shard simply never saw enough of the
+       family. Sequences in no cluster after the merge are rescored
+       against every final model (there are few of them, so this is a
+       narrow sweep, not a re-scan) and join any cluster whose
+       retention threshold they clear. --- *)
+    let rescued = Array.make (Array.length final) [] in
+    for id = n - 1 downto 0 do
+      if not (Array.exists (fun ms -> Bitset.mem ms id) member_of) then begin
+        let seq = Seq_database.get db id in
+        Array.iteri
+          (fun fi (s, _, pst, log_t) ->
+            Obs.Metrics.incr m_fixup_rescored;
+            let r = Similarity.score pst ~log_background:lbg seq in
+            if r.Similarity.log_sim >= log_t then rescued.(fi) <- id :: rescued.(fi);
+            if Float.is_finite r.Similarity.log_sim then
+              best.(id) <-
+                (match best.(id) with
+                | Some (_, bs) when r.Similarity.log_sim > bs -> Some (s, r.Similarity.log_sim)
+                | None -> Some (s, r.Similarity.log_sim)
+                | other -> other))
+          final
+      end
+    done;
+    let final =
+      Array.mapi
+        (fun fi (gid, members, pst, log_t) ->
+          match rescued.(fi) with
+          | [] -> (gid, members, pst, log_t)
+          | extra ->
+              (* [extra] is ascending (built by the downward loop) and
+                 disjoint from [members]; a linear merge keeps the
+                 member list strictly increasing. *)
+              let merged = Array.make (Array.length members + List.length extra) 0 in
+              let i = ref 0 and j = ref 0 and rest = ref extra in
+              while !i < Array.length members || !rest <> [] do
+                match !rest with
+                | e :: tl when !i >= Array.length members || e < members.(!i) ->
+                    merged.(!j) <- e;
+                    incr j;
+                    rest := tl
+                | _ ->
+                    merged.(!j) <- members.(!i);
+                    incr i;
+                    incr j
+              done;
+              (gid, merged, pst, log_t))
+        final
+    in
+    let assignments = Array.make n [] in
+    Array.iter
+      (fun (gid, members, _, _) ->
+        Array.iter (fun id -> assignments.(id) <- gid :: assignments.(id)) members)
+      final;
+    (* Cons order above leaves each list descending by gid; restore
+       ascending order to match the unsharded path's presentation. *)
+    let assignments = Array.map List.rev assignments in
+    let outliers = List.filter (fun i -> assignments.(i) = []) (List.init n Fun.id) in
+    let pst_stats = Array.map (fun (gid, _, pst, _) -> (gid, Pst.stats pst)) final in
+    let models = Array.map (fun (gid, _, pst, _) -> (gid, pst)) final in
+    let total_seqs = Array.fold_left (fun acc (_, ids) -> acc + Array.length ids) 0 live in
+    let final_t =
+      if total_seqs = 0 then config.Cluseq.t_init
+      else
+        Array.to_list sub_results
+        |> List.mapi (fun j (r : Cluseq.result) ->
+               r.Cluseq.final_t *. float_of_int (Array.length (snd live.(j))))
+        |> List.fold_left ( +. ) 0.0
+        |> fun sum -> sum /. float_of_int total_seqs
+    in
+    let iterations =
+      Array.fold_left (fun acc (r : Cluseq.result) -> max acc r.Cluseq.iterations) 0 sub_results
+    in
+    (* Final-model gauges: per-shard runs raced on these from worker
+       domains (benign, but nondeterministic) — re-set them here from
+       the merged result so exported values are deterministic. *)
+    Obs.Metrics.set g_shard_count (float_of_int k);
+    Obs.Metrics.set (Obs.Metrics.gauge "cluseq.clusters") (float_of_int (Array.length final));
+    Obs.Metrics.set (Obs.Metrics.gauge "cluseq.final_t") final_t;
+    let nodes = Array.fold_left (fun acc (_, (st : Pst.stats)) -> acc + st.Pst.nodes) 0 pst_stats in
+    let words =
+      Array.fold_left (fun acc (_, (st : Pst.stats)) -> acc + st.Pst.approx_bytes) 0 pst_stats
+      / (Sys.word_size / 8)
+    in
+    Obs.Metrics.set (Obs.Metrics.gauge "cluseq.pst.nodes") (float_of_int nodes);
+    Obs.Metrics.set (Obs.Metrics.gauge "cluseq.pst.est_words") (float_of_int words);
+    if Obs.Metrics.is_enabled () then
+      Obs.Metrics.observe h_merge_seconds (Timer.span_s merge_t0 (Timer.now_ns ()));
+    Log.info (fun m ->
+        m "merged %d shard clusters into %d (threshold %.3g, %d rescored)" (Array.length gs)
+          (Array.length final) merge_divergence
+          (Obs.Metrics.counter_value m_fixup_rescored));
+    if journal_on then begin
+      Obs.Journal.emit "run.end" (fun () ->
+          [
+            ("clusters", Bench_json.Num (float_of_int (Array.length final)));
+            ("iterations", Bench_json.Num (float_of_int iterations));
+            ("final_t", Bench_json.Num final_t);
+            ("outliers", Bench_json.Num (float_of_int (List.length outliers)));
+            ("shards", Bench_json.Num (float_of_int shards));
+          ]);
+      Obs.Journal.flush ()
+    end;
+    {
+      Cluseq.clusters = Array.map (fun (gid, members, _, _) -> (gid, members)) final;
+      assignments;
+      best;
+      outliers;
+      n_clusters = Array.length final;
+      final_t;
+      iterations;
+      history = [];
+      pst_stats;
+      models;
+    }
+  end

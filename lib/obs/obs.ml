@@ -219,7 +219,10 @@ module Trace = struct
   let duration_s sp = Int64.to_float (duration_ns sp) /. 1e9
 
   let with_span name f =
-    if not !enabled then f ()
+    (* Span state is a pair of global refs, so only the main domain may
+       record spans: a worker-domain span (e.g. inside a shard task)
+       degrades to a plain call instead of corrupting the stack. *)
+    if (not !enabled) || not (Domain.is_main_domain ()) then f ()
     else begin
       let sp = { span_name = name; start_ns = Timer.now_ns (); stop_ns = 0L; rev_children = [] } in
       (match !stack with
@@ -491,6 +494,17 @@ module Journal = struct
           if Buffer.length st.buf >= flush_threshold then flush_state st
 
   let flush () = match !state with None -> () | Some st -> flush_state st
+
+  (* The journal is single-writer by contract, so a parallel fan-out
+     (shard orchestration) suspends emission around the parallel region:
+     [enabled] is cleared on the main domain before workers start (the
+     pool's mutex publishes the write), workers see emission disabled,
+     and the orchestrator journals its own events after restore. *)
+  let with_suspended f =
+    let was = !enabled in
+    enabled := false;
+    Fun.protect ~finally:(fun () -> enabled := was) f
+
   let events_written () = !n_written
   let dropped () = !n_dropped
 

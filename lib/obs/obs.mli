@@ -125,7 +125,9 @@ module Trace : sig
   val with_span : string -> (unit -> 'a) -> 'a
   (** [with_span name f] runs [f ()] inside a span: the span nests
       under the innermost open span (or becomes a root), is timed with
-      {!Timer.now_ns}, and is closed even if [f] raises. *)
+      {!Timer.now_ns}, and is closed even if [f] raises. Span state is
+      main-domain-only; on a worker domain this is a plain call that
+      records nothing (use the {!Recorder} for worker-side events). *)
 
   val name : span -> string
   val children : span -> span list
@@ -285,6 +287,13 @@ module Journal : sig
   val flush : unit -> unit
   (** Force buffered records to the file (e.g. before reading it back
       mid-process). *)
+
+  val with_suspended : (unit -> 'a) -> 'a
+  (** [with_suspended f] runs [f ()] with journaling disabled, then
+      restores the previous state (even if [f] raises). Used around
+      parallel fan-outs (shard orchestration): the journal writer is
+      main-domain-only, so worker-side runs must not emit; the
+      orchestrator journals its own summary events after restore. *)
 
   val close : unit -> unit
   (** Flush, close the file, and disable journaling. Idempotent. *)

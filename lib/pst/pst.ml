@@ -320,6 +320,38 @@ let copy t =
   in
   { cfg = t.cfg; root = copy_node None t.root; n_nodes = t.n_nodes; log_uniform = t.log_uniform }
 
+(* Counts-addition merge: a PST built from database A merged with one
+   built from database B has exactly the counts of a PST built from
+   A @ B (up to pruning), because every field is a sum of per-position
+   observations. Smallmap keeps keys sorted, so the merged structure is
+   independent of argument order — merge is commutative and associative
+   under [equal_structure] as long as neither side has pruned. *)
+let merge a b =
+  if a.cfg <> b.cfg then invalid_arg "Pst.merge: configs differ";
+  let t = copy a in
+  let rec add dst src =
+    dst.count <- dst.count + src.count;
+    dst.next_total <- dst.next_total + src.next_total;
+    Smallmap.iter (fun sym c -> Smallmap.add_int dst.next sym c) src.next;
+    Smallmap.iter
+      (fun sym child ->
+        let dst_child =
+          match Smallmap.find_opt dst.children sym with
+          | Some c -> c
+          | None ->
+              let c = make_node ~sym ~depth:(dst.depth + 1) ~parent:(Some dst) in
+              Smallmap.set dst.children sym c;
+              t.n_nodes <- t.n_nodes + 1;
+              Obs.Metrics.incr m_node_creations;
+              c
+        in
+        add dst_child child)
+      src.children
+  in
+  add t.root b.root;
+  maybe_prune t;
+  t
+
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)

@@ -117,6 +117,16 @@ val copy : t -> t
     (scoring, pruning) behaves bit-identically on the copy. Used by the
     correctness oracles to snapshot a model before replaying mutations. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a new tree (inputs untouched) whose counts are the
+    node-by-node sum of [a] and [b] over the union of their node sets —
+    the counts a single tree would have accumulated had it seen both
+    databases, up to pruning. Because node storage is key-sorted, the
+    result is independent of argument order: merge is commutative and
+    associative under {!equal_structure} when no pruning fires. The
+    merged tree re-prunes itself if the union exceeds [max_nodes].
+    Raises [Invalid_argument] when the configs differ. *)
+
 val next_distribution : t -> node -> float array
 (** The full smoothed probability vector at a node (length |Σ|). *)
 

@@ -114,7 +114,7 @@ let experiment ?(id = "table2") ?(wall = 10.0) ?(cluseq_s = 8.0) ?drift:(dr = dr
     quality;
   }
 
-let report ?(scale = 0.25) ?(domains = 1) ?experiments
+let report ?(scale = 0.25) ?(domains = 1) ?(shards = 1) ?experiments
     ?(micro = [ ("cluseq/pst-insert", 5200.0) ]) () =
   {
     Bench_report.env =
@@ -126,6 +126,7 @@ let report ?(scale = 0.25) ?(domains = 1) ?experiments
         hostname = "testhost";
         word_size = Sys.word_size;
         domains;
+        shards;
       };
     experiments =
       (match experiments with
@@ -467,6 +468,28 @@ let test_compare_rejects_domains_mismatch () =
   | Ok _ -> ()
   | Error msg -> Alcotest.failf "legacy domains=0 should compare: %s" msg
 
+let test_compare_rejects_shards_mismatch () =
+  (match
+     Bench_compare.compare_reports ~base:(report ~shards:1 ())
+       ~candidate:(report ~shards:4 ()) ()
+   with
+  | Ok _ -> Alcotest.fail "shards mismatch accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error names --shards" true
+        (let contains ~needle hay =
+           let nl = String.length needle and hl = String.length hay in
+           let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+           go 0
+         in
+         contains ~needle:"--shards" msg));
+  (* Files written before the field existed read back as 0: wildcard. *)
+  match
+    Bench_compare.compare_reports ~base:(report ~shards:0 ())
+      ~candidate:(report ~shards:4 ()) ()
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "legacy shards=0 should compare: %s" msg
+
 let test_compare_micro_regression () =
   let base = report ~micro:[ ("cluseq/similarity-dp", 1000.0) ] () in
   let slowed = { base with micro = [ ("cluseq/similarity-dp", 2100.0) ] } in
@@ -511,6 +534,8 @@ let () =
           Alcotest.test_case "scale mismatch rejected" `Quick test_compare_rejects_scale_mismatch;
           Alcotest.test_case "domains mismatch rejected" `Quick
             test_compare_rejects_domains_mismatch;
+          Alcotest.test_case "shards mismatch rejected" `Quick
+            test_compare_rejects_shards_mismatch;
           Alcotest.test_case "micro regression flagged" `Quick test_compare_micro_regression;
         ] );
     ]

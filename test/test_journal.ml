@@ -106,17 +106,20 @@ let test_read_reports_bad_line () =
 
 (* One full clustering run's journal, as entries with the timestamp
    zeroed: everything that must not depend on scheduling. *)
-let journal_of_run ~domains =
+let journal_of ~domains run =
   let db, _ = Lazy.force Gen_common.small_db_and_truth in
   with_domains domains (fun () ->
       Obs.reset ();
       with_temp_journal (fun path ->
           Obs.Journal.open_file path;
-          ignore (Cluseq.run ~config:Gen_common.small_config db);
+          ignore (run db);
           Obs.Journal.close ();
           List.map
             (fun (e : Obs.Journal.entry) -> { e with j_ts_ns = 0L })
             (read_ok path)))
+
+let journal_of_run ~domains =
+  journal_of ~domains (fun db -> Cluseq.run ~config:Gen_common.small_config db)
 
 let test_journal_identical_across_domains () =
   let base = journal_of_run ~domains:1 in
@@ -135,6 +138,56 @@ let test_journal_identical_across_domains () =
         Alcotest.failf "journal diverges at record %d: %s vs %s" a.j_seq a.j_event b.j_event)
     base par
 
+(* --- sharded runs ---------------------------------------------------- *)
+
+let journal_of_sharded ~domains ~shards =
+  journal_of ~domains (fun db -> Shard.run ~config:Gen_common.small_config ~shards db)
+
+let test_shards_one_journal_matches_plain () =
+  (* --shards 1 is the plain path: the journal must be byte-identical
+     (the entries carry everything but the timestamps). *)
+  let plain = journal_of_run ~domains:1 in
+  let sharded = journal_of_sharded ~domains:1 ~shards:1 in
+  Alcotest.(check int) "same record count" (List.length plain) (List.length sharded);
+  List.iter2
+    (fun (a : Obs.Journal.entry) (b : Obs.Journal.entry) ->
+      if a <> b then
+        Alcotest.failf "shards=1 journal diverges at record %d: %s vs %s" a.j_seq a.j_event
+          b.j_event)
+    plain sharded
+
+let test_shard_journal_identical_across_domains () =
+  (* Per-shard journals are suspended during the fan-out; what remains
+     is orchestrator-level provenance emitted from the main domain, so
+     the stream must not depend on the domain count either. *)
+  let base = journal_of_sharded ~domains:1 ~shards:4 in
+  Alcotest.(check bool) "run journaled events" true (base <> []);
+  Alcotest.(check bool) "shard lifecycle events present" true
+    (List.exists (fun (e : Obs.Journal.entry) -> e.j_event = "run.start") base
+    && List.exists (fun (e : Obs.Journal.entry) -> e.j_event = "shard.started") base
+    && List.exists (fun (e : Obs.Journal.entry) -> e.j_event = "shard.merged") base
+    && List.exists (fun (e : Obs.Journal.entry) -> e.j_event = "run.end") base);
+  Alcotest.(check bool) "run.start carries the shard count" true
+    (List.exists
+       (fun (e : Obs.Journal.entry) ->
+         e.j_event = "run.start"
+         && List.assoc_opt "shards" e.j_fields = Some (Bench_json.Num 4.0))
+       base);
+  Alcotest.(check bool) "no per-shard iteration events leak" true
+    (not
+       (List.exists
+          (fun (e : Obs.Journal.entry) -> e.j_event = "seq.joined" || e.j_event = "iteration.drift")
+          base));
+  let par = journal_of_sharded ~domains:4 ~shards:4 in
+  Alcotest.(check int) "same record count at 1 vs 4 domains" (List.length base)
+    (List.length par);
+  List.iter2
+    (fun (a : Obs.Journal.entry) (b : Obs.Journal.entry) ->
+      if a <> b then
+        Alcotest.failf "sharded journal diverges at record %d: %s vs %s" a.j_seq a.j_event
+          b.j_event)
+    base par
+
 let () =
   Alcotest.run "journal"
     [
@@ -148,5 +201,9 @@ let () =
         [
           Alcotest.test_case "identical across domain counts" `Quick
             test_journal_identical_across_domains;
+          Alcotest.test_case "shards=1 journal matches the plain path" `Quick
+            test_shards_one_journal_matches_plain;
+          Alcotest.test_case "sharded journal identical across domain counts" `Quick
+            test_shard_journal_identical_across_domains;
         ] );
     ]

@@ -301,6 +301,75 @@ let qcheck_tests =
            Pst.n_nodes t <= budget));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Merge properties (shard-and-merge support, DESIGN.md §14)           *)
+(* ------------------------------------------------------------------ *)
+
+let texts2 = Gen_common.texts_gen ~min_seqs:0 ~max_seqs:5 ~max_len:30 ()
+
+let merge_qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge of halves = concatenated database" ~count:60
+         (QCheck.pair texts2 texts2)
+         (fun (xs, ys) ->
+           (* With no pruning pressure the merged tree must carry exactly
+              the counts a single tree would have accumulated over both
+              halves. *)
+           let whole = build (xs @ ys) in
+           let merged = Pst.merge (build xs) (build ys) in
+           Pst.equal_structure whole merged));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge scores = concatenated database scores (smoothed)" ~count:40
+         (QCheck.triple texts2 texts2 (seq_gen))
+         (fun (xs, ys, probe) ->
+           let whole = build ~p_min:0.001 (xs @ ys) in
+           let merged = Pst.merge (build ~p_min:0.001 xs) (build ~p_min:0.001 ys) in
+           let s = Sequence.of_string alpha probe in
+           let ok = ref true in
+           for pos = 0 to Array.length s - 1 do
+             let a = Pst.log_prob whole s ~lo:0 ~pos in
+             let b = Pst.log_prob merged s ~lo:0 ~pos in
+             if Float.abs (a -. b) > 1e-9 then ok := false
+           done;
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge is commutative" ~count:60 (QCheck.pair texts2 texts2)
+         (fun (xs, ys) ->
+           Pst.equal_structure (Pst.merge (build xs) (build ys)) (Pst.merge (build ys) (build xs))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge is associative" ~count:40
+         (QCheck.triple texts2 texts2 texts2)
+         (fun (xs, ys, zs) ->
+           let a = build xs and b = build ys and c = build zs in
+           Pst.equal_structure (Pst.merge (Pst.merge a b) c) (Pst.merge a (Pst.merge b c))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge leaves its inputs untouched" ~count:40
+         (QCheck.pair texts2 texts2)
+         (fun (xs, ys) ->
+           let a = build xs and b = build ys in
+           let a' = Pst.copy a and b' = Pst.copy b in
+           ignore (Pst.merge a b);
+           Pst.equal_structure a a' && Pst.equal_structure b b'));
+  ]
+
+let test_merge_config_mismatch () =
+  let a = build ~max_depth:5 [ "abab" ] in
+  let b = build ~max_depth:6 [ "abab" ] in
+  match Pst.merge a b with
+  | (_ : Pst.t) -> Alcotest.fail "expected Invalid_argument on config mismatch"
+  | exception Invalid_argument _ -> ()
+
+let test_merge_reprunes_over_budget () =
+  (* Each half fits the node budget on its own; the union does not —
+     merge must re-prune back under it. *)
+  let a = build ~max_nodes:40 ~significance:1 [ "abcdefghij"; "klmnopqrst" ] in
+  let b = build ~max_nodes:40 ~significance:1 [ "uvwxyzabcd"; "efghijklmn" ] in
+  let m = Pst.merge a b in
+  Alcotest.(check bool)
+    (Printf.sprintf "budget held (%d <= 40)" (Pst.n_nodes m))
+    true (Pst.n_nodes m <= 40)
+
 let () =
   Alcotest.run "pst"
     [
@@ -336,4 +405,8 @@ let () =
             test_longest_label_pruning_removes_deep_first;
         ] );
       ("property", qcheck_tests);
+      ( "merge",
+        Alcotest.test_case "config mismatch rejected" `Quick test_merge_config_mismatch
+        :: Alcotest.test_case "re-prunes over budget" `Quick test_merge_reprunes_over_budget
+        :: merge_qcheck_tests );
     ]
